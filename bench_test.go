@@ -1,0 +1,88 @@
+package mpgraph
+
+// One benchmark per paper table and figure (DESIGN.md §4). Each bench runs
+// the corresponding experiment end to end at a tiny reproduction scale on a
+// shared, lazily-built Runner, so `go test -bench=.` regenerates every
+// artifact; `cmd/mpgraph-experiments` produces the full-scale reports.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"mpgraph/internal/experiments"
+	"mpgraph/internal/frameworks"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+)
+
+func benchSetup() *experiments.Runner {
+	benchOnce.Do(func() {
+		opt := experiments.DefaultOptions()
+		opt.GraphScale = 10
+		opt.Apps = []frameworks.App{frameworks.PR}
+		opt.TraceIterations = 3
+		opt.MaxTestAccesses = 30_000
+		opt.TrainSamples = 150
+		opt.EvalSamples = 60
+		opt.Epochs = 1
+		benchRunner = experiments.NewRunner(opt)
+	})
+	return benchRunner
+}
+
+func benchExperiment(b *testing.B, fn func(io.Writer, *experiments.Runner) error) {
+	b.Helper()
+	r := benchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Frameworks(b *testing.B) { benchExperiment(b, experiments.TableFrameworks) }
+func BenchmarkTable2Datasets(b *testing.B)   { benchExperiment(b, experiments.TableDatasets) }
+func BenchmarkTable3SimParams(b *testing.B)  { benchExperiment(b, experiments.TableSimParams) }
+func BenchmarkFigure2PCA(b *testing.B)       { benchExperiment(b, experiments.FigurePCA) }
+func BenchmarkFigure3PageJumps(b *testing.B) { benchExperiment(b, experiments.FigurePageJumps) }
+func BenchmarkTable4PhaseDetection(b *testing.B) {
+	benchExperiment(b, experiments.TablePhaseDetection)
+}
+func BenchmarkFigure9CaseStudy(b *testing.B) { benchExperiment(b, experiments.FigureCaseStudy) }
+func BenchmarkTable5AMMAConfig(b *testing.B) { benchExperiment(b, experiments.TableAMMAConfig) }
+func BenchmarkTable6DeltaF1(b *testing.B)    { benchExperiment(b, experiments.TableDeltaPrediction) }
+func BenchmarkTable7PageAcc(b *testing.B)    { benchExperiment(b, experiments.TablePagePrediction) }
+func BenchmarkFigure10Accuracy(b *testing.B) {
+	benchExperiment(b, experiments.FigurePrefetchAccuracy)
+}
+func BenchmarkFigure11Coverage(b *testing.B) {
+	benchExperiment(b, experiments.FigurePrefetchCoverage)
+}
+func BenchmarkFigure12IPC(b *testing.B)      { benchExperiment(b, experiments.FigureIPC) }
+func BenchmarkFigure13KD(b *testing.B)       { benchExperiment(b, experiments.FigureDistillation) }
+func BenchmarkFigure14DP(b *testing.B)       { benchExperiment(b, experiments.FigureDistancePrefetch) }
+func BenchmarkTable8Complexity(b *testing.B) { benchExperiment(b, experiments.TableComplexity) }
+func BenchmarkAblationCSTP(b *testing.B)     { benchExperiment(b, experiments.AblationCSTP) }
+func BenchmarkAblationPhases(b *testing.B)   { benchExperiment(b, experiments.AblationPhases) }
+
+// End-to-end façade benchmark: train + simulate MPGraph for one workload.
+func BenchmarkEndToEndMPGraph(b *testing.B) {
+	r := benchSetup()
+	wl := r.Opt.Workloads()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := &System{runner: r}
+		pf, err := sys.TrainMPGraph(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sys.Simulate(wl, pf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

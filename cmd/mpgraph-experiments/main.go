@@ -1,0 +1,139 @@
+// Command mpgraph-experiments regenerates the paper's tables and figures
+// (DESIGN.md §4 maps each experiment id to its runner).
+//
+// Usage:
+//
+//	mpgraph-experiments -list
+//	mpgraph-experiments -run all
+//	mpgraph-experiments -run table4,fig12 -datasets rmat,wiki -apps pr,cc
+//	mpgraph-experiments -run fig12 -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mpgraph/internal/experiments"
+	"mpgraph/internal/frameworks"
+)
+
+type runner struct {
+	id, desc string
+	fn       func(io.Writer, *experiments.Runner) error
+}
+
+var registry = []runner{
+	{"table1", "Benchmark frameworks and applications", experiments.TableFrameworks},
+	{"table2", "Graph datasets", experiments.TableDatasets},
+	{"table3", "Simulation parameters", experiments.TableSimParams},
+	{"fig2", "PCA of accesses and PCs per phase", experiments.FigurePCA},
+	{"fig3", "Page jumps in GPOP", experiments.FigurePageJumps},
+	{"table4", "Phase detection P/R/F1", experiments.TablePhaseDetection},
+	{"fig9", "Phase detection case study", experiments.FigureCaseStudy},
+	{"table5", "AMMA configuration", experiments.TableAMMAConfig},
+	{"table6", "Spatial delta prediction F1", experiments.TableDeltaPrediction},
+	{"table7", "Temporal page prediction accuracy@10", experiments.TablePagePrediction},
+	{"fig10", "Prefetch accuracy", experiments.FigurePrefetchAccuracy},
+	{"fig11", "Prefetch coverage", experiments.FigurePrefetchCoverage},
+	{"fig12", "IPC improvement", experiments.FigureIPC},
+	{"fig13", "Knowledge distillation under compression", experiments.FigureDistillation},
+	{"fig14", "Distance prefetching vs inference latency", experiments.FigureDistancePrefetch},
+	{"table8", "Computational complexity", experiments.TableComplexity},
+	{"ablation-cstp", "CSTP chaining ablation", experiments.AblationCSTP},
+	{"ablation-phase", "Phase handling ablation", experiments.AblationPhases},
+	{"ablation-percore", "Per-core detection (async extension)", experiments.AblationPerCore},
+	{"extended", "Extended rule-based baselines", experiments.TableExtendedBaselines},
+}
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale      = flag.String("scale", "small", "experiment scale: small | paper")
+		datasets   = flag.String("datasets", "", "comma-separated dataset names (default per scale)")
+		apps       = flag.String("apps", "", "comma-separated apps filter (bfs,cc,pr,sssp,tc)")
+		graphScale = flag.Int("graph-scale", 0, "log2 vertices override")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		out        = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range registry {
+			fmt.Printf("%-14s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	var opt experiments.Options
+	switch *scale {
+	case "small":
+		opt = experiments.DefaultOptions()
+	case "paper":
+		opt = experiments.PaperOptions()
+	default:
+		fatalf("unknown scale %q (small|paper)", *scale)
+	}
+	opt.Seed = *seed
+	if *graphScale > 0 {
+		opt.GraphScale = *graphScale
+	}
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+	if *apps != "" {
+		for _, a := range strings.Split(*apps, ",") {
+			opt.Apps = append(opt.Apps, frameworks.App(strings.TrimSpace(a)))
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	wanted := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		for id := range wanted {
+			if !known(id) {
+				fatalf("unknown experiment %q (use -list)", id)
+			}
+		}
+	}
+
+	r := experiments.NewRunner(opt)
+	for _, reg := range registry {
+		if *run != "all" && !wanted[reg.id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "[mpgraph-experiments] running %s (%s)...\n", reg.id, reg.desc)
+		if err := reg.fn(w, r); err != nil {
+			fatalf("%s: %v", reg.id, err)
+		}
+	}
+}
+
+func known(id string) bool {
+	for _, r := range registry {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpgraph-experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

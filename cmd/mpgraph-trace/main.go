@@ -1,0 +1,83 @@
+// Command mpgraph-trace executes a graph-analytics workload under one of the
+// three framework execution models and writes its memory-access trace — the
+// equivalent of the paper's "framework under Pin" trace-generation step.
+//
+// Usage:
+//
+//	mpgraph-trace -framework gpop -app pr -dataset rmat -scale 12 -iterations 6 -o pr.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpgraph/internal/frameworks"
+	"mpgraph/internal/graph"
+	"mpgraph/internal/trace"
+)
+
+func main() {
+	var (
+		framework  = flag.String("framework", "gpop", "gpop | xstream | powergraph")
+		app        = flag.String("app", "pr", "bfs | cc | pr | sssp | tc")
+		dataset    = flag.String("dataset", "rmat", "benchmark graph name (see Table 2)")
+		scale      = flag.Int("scale", 12, "log2 vertices")
+		iterations = flag.Int("iterations", 6, "super-steps to trace")
+		cores      = flag.Int("cores", 4, "simulated cores")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		out        = flag.String("o", "", "output trace file (required unless -stats)")
+		statsFlag  = flag.Bool("stats", false, "print a per-phase trace summary instead of requiring -o")
+	)
+	flag.Parse()
+	if *out == "" && !*statsFlag {
+		fatalf("missing -o output path (or use -stats)")
+	}
+
+	spec, err := graph.DatasetByName(*dataset)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	g, err := spec.GenerateScale(*scale)
+	if err != nil {
+		fatalf("generate graph: %v", err)
+	}
+	stats := graph.ComputeStats(g)
+	fmt.Fprintf(os.Stderr, "graph %s: %s\n", *dataset, stats)
+
+	fw, err := frameworks.ByName(*framework)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, res, err := fw.Run(g, frameworks.App(*app), frameworks.Options{
+		Cores:         *cores,
+		MaxIterations: *iterations,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fatalf("run workload: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d accesses, %d iterations, converged=%v\n",
+		len(tr.Accesses), res.Iterations, res.Converged)
+	if *statsFlag {
+		trace.Summarize(tr).Print(os.Stdout)
+	}
+	if *out == "" {
+		return
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("create %s: %v", *out, err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		fatalf("write trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpgraph-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Phase detection case study (the Fig. 9 scenario): run the hard KSWIN
+// detector and the paper's Soft-KSWIN side by side on a GPOP PageRank LLC
+// stream and show how soft detection suppresses false positives at the cost
+// of a small lag.
+//
+//	go run ./examples/phasedetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpgraph"
+	"mpgraph/internal/phasedet"
+)
+
+func main() {
+	opt := mpgraph.DefaultOptions()
+	opt.GraphScale = 11
+	opt.TraceIterations = 5
+	sys := mpgraph.New(opt)
+	wl := mpgraph.Workload{Framework: "gpop", App: mpgraph.PR, Dataset: "rmat"}
+
+	d, err := sys.Runner().Data(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The detectors consume the PC stream the prefetcher sees at the LLC.
+	xs := make([]float64, len(d.LLCTest))
+	var truth []int
+	for i, a := range d.LLCTest {
+		xs[i] = float64(a.PC)
+		if i > 0 && a.Phase != d.LLCTest[i-1].Phase {
+			truth = append(truth, i)
+		}
+	}
+	fmt.Printf("LLC stream: %d accesses, %d true phase transitions\n", len(xs), len(truth))
+
+	hard := phasedet.RunDetector(phasedet.NewKSWIN(phasedet.KSWINConfig{Seed: 1}), xs)
+	soft := phasedet.RunDetector(phasedet.NewSoftKSWIN(phasedet.KSWINConfig{Seed: 1}), xs)
+
+	fmt.Printf("\n%-12s %5s  detections\n", "detector", "count")
+	fmt.Printf("%-12s %5d  %v\n", "kswin", len(hard), head(hard, 10))
+	fmt.Printf("%-12s %5d  %v\n", "soft-kswin", len(soft), head(soft, 10))
+	fmt.Printf("%-12s %5d  %v\n", "truth", len(truth), head(truth, 10))
+
+	tol := 2000
+	hs := phasedet.EvaluateDetections(hard, truth, 0, tol)
+	ss := phasedet.EvaluateDetections(soft, truth, 0, tol)
+	fmt.Printf("\nkswin:      %v\n", hs)
+	fmt.Printf("soft-kswin: %v\n", ss)
+	if ss.Precision > hs.Precision {
+		fmt.Println("\nSoft detection removed the impulse-shift false positives (Fig. 9's claim).")
+	}
+}
+
+func head(xs []int, n int) []int {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}

@@ -1,0 +1,52 @@
+// Quickstart: train the MPGraph prefetcher for one workload and compare it
+// against the Best-Offset baseline and no prefetching.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpgraph"
+	"mpgraph/internal/prefetch"
+)
+
+func main() {
+	// Reduced budgets so the example finishes in well under a minute.
+	opt := mpgraph.DefaultOptions()
+	opt.GraphScale = 11
+	opt.TraceIterations = 3
+	opt.TrainSamples = 400
+	opt.Epochs = 1
+	opt.MaxTestAccesses = 100_000
+
+	sys := mpgraph.New(opt)
+	wl := mpgraph.Workload{Framework: "gpop", App: mpgraph.PR, Dataset: "rmat"}
+
+	tr, res, err := sys.Trace(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d accesses over %d iterations (converged=%v)\n",
+		wl, len(tr.Accesses), res.Iterations, res.Converged)
+
+	// MPGraph: phase-specific AMMA predictors + Soft-KSWIN detector + CSTP.
+	mp, err := sys.TrainMPGraph(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pf := range []mpgraph.Prefetcher{
+		prefetch.NewBO(prefetch.DefaultBOConfig()),
+		mp,
+	} {
+		m, base, err := sys.Simulate(wl, pf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s IPC %.4f -> %.4f (%+.2f%%)  accuracy %.1f%%  coverage %.1f%%\n",
+			pf.Name(), base.IPC(), m.IPC(), m.IPCImprovement(base)*100,
+			m.Accuracy()*100, m.Coverage()*100)
+	}
+}

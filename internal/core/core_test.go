@@ -1,0 +1,416 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpgraph/internal/models"
+	"mpgraph/internal/phasedet"
+	"mpgraph/internal/sim"
+	"mpgraph/internal/tensor"
+	"mpgraph/internal/trace"
+)
+
+// fakeDelta always predicts a fixed delta with certainty.
+type fakeDelta struct {
+	delta   int64
+	classes int
+}
+
+func (f fakeDelta) DeltaLoss(*models.Sample) *tensor.Tensor { panic("inference only") }
+func (f fakeDelta) Params() []*tensor.Tensor                { return nil }
+func (f fakeDelta) DeltaScores(*models.Sample) []float64 {
+	out := make([]float64, f.classes)
+	half := f.classes / 2
+	var cls int
+	if f.delta < 0 {
+		cls = int(f.delta) + half
+	} else {
+		cls = int(f.delta) + half - 1
+	}
+	out[cls] = 1
+	return out
+}
+
+// fakePage always predicts a fixed page sequence.
+type fakePage struct{ pages []uint64 }
+
+func (f fakePage) PageLoss(*models.Sample) *tensor.Tensor { panic("inference only") }
+func (f fakePage) Params() []*tensor.Tensor               { return nil }
+func (f fakePage) TopPages(_ *models.Sample, k int) []uint64 {
+	if k > len(f.pages) {
+		k = len(f.pages)
+	}
+	return f.pages[:k]
+}
+
+// silentDetector never fires.
+type silentDetector struct{}
+
+func (silentDetector) Name() string         { return "silent" }
+func (silentDetector) Observe(float64) bool { return false }
+func (silentDetector) Reset()               {}
+
+// scriptedDetector fires at a fixed observation count.
+type scriptedDetector struct {
+	at, seen int
+}
+
+func (d *scriptedDetector) Name() string { return "scripted" }
+func (d *scriptedDetector) Observe(float64) bool {
+	d.seen++
+	return d.seen == d.at
+}
+func (d *scriptedDetector) Reset() { d.seen = 0 }
+
+func TestPBOT(t *testing.T) {
+	p := NewPBOT(2)
+	p.Update(trace.BlockOfPageOffset(10, 5), 0xA)
+	p.Update(trace.BlockOfPageOffset(11, 7), 0xB)
+	e, ok := p.Lookup(10)
+	if !ok || e.Offset != 5 || e.PC != 0xA {
+		t.Fatalf("entry %+v", e)
+	}
+	// Updating an existing page must not evict.
+	p.Update(trace.BlockOfPageOffset(10, 9), 0xC)
+	if p.Len() != 2 {
+		t.Fatal("update must not grow")
+	}
+	e, _ = p.Lookup(10)
+	if e.Offset != 9 || e.PC != 0xC {
+		t.Fatal("update must overwrite")
+	}
+	// Third page evicts the FIFO head (page 10).
+	p.Update(trace.BlockOfPageOffset(12, 1), 0xD)
+	if _, ok := p.Lookup(10); ok {
+		t.Fatal("page 10 should be evicted")
+	}
+	if _, ok := p.Lookup(11); !ok {
+		t.Fatal("page 11 should survive")
+	}
+	if NewPBOT(0).max != 4096 {
+		t.Fatal("default size")
+	}
+}
+
+func newTestMPGraph(t *testing.T, opt Options, det interface {
+	Name() string
+	Observe(float64) bool
+	Reset()
+}, deltas []models.DeltaModel, pages []models.PageModel) *MPGraph {
+	t.Helper()
+	m, err := New(opt, 4, det, deltas, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	d := []models.DeltaModel{fakeDelta{1, 8}}
+	p := []models.PageModel{fakePage{}}
+	if _, err := New(DefaultOptions(), 4, silentDetector{}, nil, nil); err == nil {
+		t.Fatal("empty models must fail")
+	}
+	if _, err := New(DefaultOptions(), 4, silentDetector{}, d, nil); err == nil {
+		t.Fatal("mismatched models must fail")
+	}
+	bad := DefaultOptions()
+	bad.SpatialDegree = 0
+	if _, err := New(bad, 4, silentDetector{}, d, p); err == nil {
+		t.Fatal("zero spatial degree must fail")
+	}
+	if _, err := New(DefaultOptions(), 4, nil, d, p); err == nil {
+		t.Fatal("nil detector without oracle must fail")
+	}
+	oracle := DefaultOptions()
+	oracle.OraclePhase = true
+	if _, err := New(oracle, 4, nil, d, p); err != nil {
+		t.Fatalf("oracle without detector should work: %v", err)
+	}
+}
+
+func TestCSTPChain(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SpatialDegree = 2
+	opt.TemporalDegree = 2
+	deltas := []models.DeltaModel{fakeDelta{1, 126}}
+	pages := []models.PageModel{fakePage{pages: []uint64{500}}}
+	m := newTestMPGraph(t, opt, silentDetector{}, deltas, pages)
+
+	// Prime PBOT with page 500 at offset 3 and warm the history.
+	m.Operate(sim.LLCAccess{Block: trace.BlockOfPageOffset(500, 3), PC: 1})
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = m.Operate(sim.LLCAccess{Block: trace.BlockOfPageOffset(100, uint64(i)), PC: 1})
+	}
+	if len(out) == 0 {
+		t.Fatal("no prefetches")
+	}
+	if len(out) > opt.MaxTotalDegree() {
+		t.Fatalf("degree %d exceeds Eq.11 bound %d", len(out), opt.MaxTotalDegree())
+	}
+	// The chain must include page 500's base block (offset 3, as updated by
+	// later PBOT writes it may move — it was only written once).
+	base := trace.BlockOfPageOffset(500, 3)
+	foundChain := false
+	for _, b := range out {
+		if trace.PageOfBlock(b) == 500 {
+			foundChain = true
+		}
+	}
+	if !foundChain {
+		t.Fatalf("chain did not reach predicted page: %v (want page of %d)", out, base)
+	}
+	// Spatial prediction at current block (+1) must be present.
+	cur := trace.BlockOfPageOffset(100, 5)
+	foundSpatial := false
+	for _, b := range out {
+		if b == cur+1 {
+			foundSpatial = true
+		}
+	}
+	if !foundSpatial {
+		t.Fatalf("missing spatial prefetch %d in %v", cur+1, out)
+	}
+}
+
+func TestCSTPChainStopsWithoutPBOT(t *testing.T) {
+	opt := DefaultOptions()
+	deltas := []models.DeltaModel{fakeDelta{1, 126}}
+	pages := []models.PageModel{fakePage{pages: []uint64{999}}} // never accessed
+	m := newTestMPGraph(t, opt, silentDetector{}, deltas, pages)
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = m.Operate(sim.LLCAccess{Block: uint64(6400 + i), PC: 1})
+	}
+	// Only the spatial step should fire: page 999 is not in PBOT.
+	for _, b := range out {
+		if trace.PageOfBlock(b) == 999 {
+			t.Fatalf("chain used missing PBOT entry: %v", out)
+		}
+	}
+	if len(out) == 0 || len(out) > opt.SpatialDegree {
+		t.Fatalf("want only spatial prefetches, got %v", out)
+	}
+}
+
+// Property (Eq. 11): for any degree settings, the issued degree never
+// exceeds Ds*(Dt+1).
+func TestQuickDegreeBound(t *testing.T) {
+	f := func(rawDs, rawDt uint8) bool {
+		ds := int(rawDs)%4 + 1
+		dt := int(rawDt) % 4
+		opt := DefaultOptions()
+		opt.SpatialDegree, opt.TemporalDegree = ds, dt
+		deltas := []models.DeltaModel{fakeDelta{1, 126}}
+		pages := []models.PageModel{fakePage{pages: []uint64{77}}}
+		m, err := New(opt, 4, silentDetector{}, deltas, pages)
+		if err != nil {
+			return false
+		}
+		m.Operate(sim.LLCAccess{Block: trace.BlockOfPageOffset(77, 0), PC: 1})
+		var out []uint64
+		for i := 0; i < 8; i++ {
+			out = m.Operate(sim.LLCAccess{Block: trace.BlockOfPageOffset(33, uint64(i)), PC: 1})
+		}
+		return len(out) <= ds*(dt+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOraclePhaseSwitching(t *testing.T) {
+	opt := DefaultOptions()
+	opt.OraclePhase = true
+	deltas := []models.DeltaModel{fakeDelta{1, 126}, fakeDelta{2, 126}}
+	pages := []models.PageModel{fakePage{}, fakePage{}}
+	m := newTestMPGraph(t, opt, nil, deltas, pages)
+	for i := 0; i < 10; i++ {
+		m.Operate(sim.LLCAccess{Block: uint64(100 + i), PC: 1, Phase: 0})
+	}
+	if m.Phase() != 0 {
+		t.Fatal("phase 0 expected")
+	}
+	var out []uint64
+	for i := 0; i < 10; i++ {
+		out = m.Operate(sim.LLCAccess{Block: uint64(200 + i), PC: 1, Phase: 1})
+	}
+	if m.Phase() != 1 || m.Transitions != 1 {
+		t.Fatalf("phase %d transitions %d", m.Phase(), m.Transitions)
+	}
+	// Phase 1 model predicts +2.
+	cur := uint64(209)
+	found := false
+	for _, b := range out {
+		if b == cur+2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phase-1 model (+2) not used: %v", out)
+	}
+}
+
+// After a detected transition, probation must pick the phase whose
+// predictor matches the new access pattern.
+func TestProbationSelectsBestPhase(t *testing.T) {
+	opt := DefaultOptions()
+	opt.ProbationWindow = 20
+	det := &scriptedDetector{at: 30}
+	deltas := []models.DeltaModel{fakeDelta{5, 126}, fakeDelta{1, 126}}
+	pages := []models.PageModel{fakePage{}, fakePage{}}
+	m := newTestMPGraph(t, opt, det, deltas, pages)
+
+	// Phase 0 regime: +5 strides (phase 0's model matches).
+	b := uint64(1 << 16)
+	for i := 0; i < 30; i++ {
+		m.Operate(sim.LLCAccess{Block: b, PC: 1})
+		b += 5
+	}
+	// Detector fires at access 30; the stream switches to +1 strides,
+	// matching phase 1's model.
+	for i := 0; i < 40; i++ {
+		m.Operate(sim.LLCAccess{Block: b, PC: 1})
+		b++
+	}
+	if m.Transitions != 1 {
+		t.Fatalf("transitions %d", m.Transitions)
+	}
+	if m.Phase() != 1 {
+		t.Fatalf("probation picked phase %d, want 1 (scores)", m.Phase())
+	}
+	if m.Switches != 1 {
+		t.Fatalf("switches %d", m.Switches)
+	}
+}
+
+func TestMPGraphName(t *testing.T) {
+	opt := DefaultOptions()
+	opt.LatencyCycles = 123
+	m := newTestMPGraph(t, opt, silentDetector{},
+		[]models.DeltaModel{fakeDelta{1, 126}}, []models.PageModel{fakePage{}})
+	if m.Name() != "mpgraph" {
+		t.Fatal("name")
+	}
+	if m.InferenceLatencyCycles() != 123 {
+		t.Fatal("latency")
+	}
+	var _ sim.Prefetcher = m
+	var _ sim.InferenceLatency = m
+}
+
+func TestPerCoreValidation(t *testing.T) {
+	d := []models.DeltaModel{fakeDelta{1, 126}}
+	p := []models.PageModel{fakePage{}}
+	mk := func() phasedet.Detector { return silentDetector{} }
+	if _, err := NewPerCore(DefaultOptions(), 4, 0, mk, d, p); err == nil {
+		t.Fatal("zero cores must fail")
+	}
+	if _, err := NewPerCore(DefaultOptions(), 4, 2, nil, d, p); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+	if _, err := NewPerCore(DefaultOptions(), 4, 2, mk, nil, nil); err == nil {
+		t.Fatal("empty models must fail")
+	}
+	bad := DefaultOptions()
+	bad.SpatialDegree = 0
+	if _, err := NewPerCore(bad, 4, 2, mk, d, p); err == nil {
+		t.Fatal("bad degrees must fail")
+	}
+	m, err := NewPerCore(DefaultOptions(), 4, 2, mk, d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mpgraph-percore" {
+		t.Fatal("name")
+	}
+	var _ sim.Prefetcher = m
+}
+
+// Each core's detector advances that core's phase independently — the
+// asynchronous-framework extension from the paper's conclusion.
+func TestPerCoreIndependentPhases(t *testing.T) {
+	opt := DefaultOptions()
+	deltas := []models.DeltaModel{fakeDelta{1, 126}, fakeDelta{2, 126}}
+	pages := []models.PageModel{fakePage{}, fakePage{}}
+	// Core 0's detector fires at its 5th observation; core 1's never does.
+	made := 0
+	mk := func() phasedet.Detector {
+		made++
+		if made == 1 {
+			return &scriptedDetector{at: 5}
+		}
+		return silentDetector{}
+	}
+	m, err := NewPerCore(opt, 4, 2, mk, deltas, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Operate(sim.LLCAccess{Block: uint64(100 + i), PC: 1, Core: 0})
+		m.Operate(sim.LLCAccess{Block: uint64(500 + i), PC: 1, Core: 1})
+	}
+	if m.CorePhase(0) != 1 {
+		t.Fatalf("core 0 phase = %d, want 1 after detection", m.CorePhase(0))
+	}
+	if m.CorePhase(1) != 0 {
+		t.Fatalf("core 1 phase = %d, want 0", m.CorePhase(1))
+	}
+	if m.Transitions != 1 {
+		t.Fatalf("transitions %d", m.Transitions)
+	}
+	// Core 0 now predicts with the phase-1 model (+2), core 1 with phase-0 (+1).
+	out0 := m.Operate(sim.LLCAccess{Block: 200, PC: 1, Core: 0})
+	found := false
+	for _, b := range out0 {
+		if b == 202 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("core 0 should use +2 model: %v", out0)
+	}
+	out1 := m.Operate(sim.LLCAccess{Block: 600, PC: 1, Core: 1})
+	found = false
+	for _, b := range out1 {
+		if b == 601 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("core 1 should use +1 model: %v", out1)
+	}
+}
+
+func TestPerCoreChainAndDegreeBound(t *testing.T) {
+	opt := DefaultOptions()
+	opt.LatencyCycles = 55
+	deltas := []models.DeltaModel{fakeDelta{1, 126}}
+	pages := []models.PageModel{fakePage{pages: []uint64{321}}}
+	m, err := NewPerCore(opt, 4, 2, func() phasedet.Detector { return silentDetector{} }, deltas, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InferenceLatencyCycles() != 55 {
+		t.Fatal("latency")
+	}
+	m.Operate(sim.LLCAccess{Block: trace.BlockOfPageOffset(321, 7), PC: 9, Core: 0})
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = m.Operate(sim.LLCAccess{Block: trace.BlockOfPageOffset(50, uint64(i)), PC: 9, Core: 0})
+	}
+	if len(out) == 0 || len(out) > opt.MaxTotalDegree() {
+		t.Fatalf("degree bound violated: %d not in (0,%d]", len(out), opt.MaxTotalDegree())
+	}
+	reached := false
+	for _, b := range out {
+		if trace.PageOfBlock(b) == 321 {
+			reached = true
+		}
+	}
+	if !reached {
+		t.Fatalf("chain should reach page 321 via shared PBOT: %v", out)
+	}
+}

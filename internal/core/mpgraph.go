@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"mpgraph/internal/models"
+	"mpgraph/internal/phasedet"
+	"mpgraph/internal/sim"
+	"mpgraph/internal/tensor"
+	"mpgraph/internal/trace"
+)
+
+// Options configures the MPGraph prefetcher.
+type Options struct {
+	// SpatialDegree Ds: deltas issued per chain step (paper: 2).
+	SpatialDegree int
+	// TemporalDegree Dt: page-chain length (paper: 2). Total degree obeys
+	// Eq. 11: Ds+1 <= Dp <= Ds*(Dt+1).
+	TemporalDegree int
+	// PBOTSize bounds the page base-offset table.
+	PBOTSize int
+	// ProbationWindow is how many accesses the controller scores the
+	// candidate phase predictors after a detected transition before
+	// switching (Section 4.4.1).
+	ProbationWindow int
+	// InferEvery throttles inference to every k-th LLC access.
+	InferEvery int
+	// LatencyCycles is the model inference latency reported to the
+	// simulator (Fig. 14 studies 200 cycles).
+	LatencyCycles uint64
+	// OraclePhase bypasses the detector and uses the trace's ground-truth
+	// phase label (ablation only).
+	OraclePhase bool
+}
+
+// DefaultOptions mirrors Section 5.4.1: Ds=2, Dt=2, total degree 6.
+func DefaultOptions() Options {
+	return Options{
+		SpatialDegree:   2,
+		TemporalDegree:  2,
+		PBOTSize:        4096,
+		ProbationWindow: 48,
+		InferEvery:      1,
+	}
+}
+
+// MaxTotalDegree is the Eq. 11 upper bound Ds*(Dt+1).
+func (o Options) MaxTotalDegree() int { return o.SpatialDegree * (o.TemporalDegree + 1) }
+
+// MPGraph is the prefetcher: a phase detector feeding a controller that
+// switches between phase-specific delta/page predictors and issues chain
+// spatio-temporal prefetches.
+type MPGraph struct {
+	opt      Options
+	historyT int
+
+	detector phasedet.Detector
+	deltas   []models.DeltaModel // one per phase
+	pages    []models.PageModel
+
+	hist  *models.History
+	pbot  *PBOT
+	phase int
+	tick  int
+
+	// Probation state: after a detected transition all candidate phases'
+	// recent predictions are scored against arriving demand accesses.
+	probing     bool
+	probeLeft   int
+	probeScores []int
+	probeSets   []map[uint64]bool
+
+	// Stats for introspection.
+	Transitions int
+	Switches    int
+}
+
+// New builds an MPGraph prefetcher from per-phase trained predictors and a
+// phase-transition detector. len(deltas) must equal len(pages) and match the
+// framework's phase count.
+func New(opt Options, historyT int, detector phasedet.Detector, deltas []models.DeltaModel, pages []models.PageModel) (*MPGraph, error) {
+	if len(deltas) == 0 || len(deltas) != len(pages) {
+		return nil, fmt.Errorf("core: need matching per-phase delta/page models, got %d/%d", len(deltas), len(pages))
+	}
+	if opt.SpatialDegree <= 0 || opt.TemporalDegree < 0 {
+		return nil, fmt.Errorf("core: bad degrees Ds=%d Dt=%d", opt.SpatialDegree, opt.TemporalDegree)
+	}
+	if !opt.OraclePhase && detector == nil {
+		return nil, fmt.Errorf("core: detector required unless OraclePhase")
+	}
+	if opt.InferEvery <= 0 {
+		opt.InferEvery = 1
+	}
+	if opt.ProbationWindow <= 0 {
+		opt.ProbationWindow = 48
+	}
+	return &MPGraph{
+		opt:      opt,
+		historyT: historyT,
+		detector: detector,
+		deltas:   deltas,
+		pages:    pages,
+		hist:     models.NewHistory(historyT),
+		pbot:     NewPBOT(opt.PBOTSize),
+	}, nil
+}
+
+// Name implements sim.Prefetcher.
+func (m *MPGraph) Name() string { return "mpgraph" }
+
+// InferenceLatencyCycles implements sim.InferenceLatency.
+func (m *MPGraph) InferenceLatencyCycles() uint64 { return m.opt.LatencyCycles }
+
+// Phase exposes the currently selected phase (tests, case studies).
+func (m *MPGraph) Phase() int { return m.phase }
+
+// Operate implements sim.Prefetcher: the CSTP strategy of Fig. 8.
+func (m *MPGraph) Operate(acc sim.LLCAccess) []uint64 {
+	// Probation scoring: does any candidate phase predict this access?
+	if m.probing {
+		m.scoreProbe(acc.Block)
+	}
+
+	m.pbot.Update(acc.Block, acc.PC)
+	m.hist.Push(acc.Block, acc.PC)
+
+	// Phase tracking.
+	if m.opt.OraclePhase {
+		if int(acc.Phase) != m.phase {
+			m.phase = int(acc.Phase)
+			m.Transitions++
+		}
+	} else if m.detector.Observe(float64(acc.PC)) {
+		m.Transitions++
+		m.beginProbation()
+	}
+
+	m.tick++
+	if !m.hist.Warm() || m.tick%m.opt.InferEvery != 0 {
+		return nil
+	}
+
+	restore := tensor.SetGradEnabled(false)
+	defer tensor.SetGradEnabled(restore)
+
+	if m.probing {
+		m.feedProbe()
+	}
+
+	return m.cstp(acc.Block)
+}
+
+// cstp performs chain spatio-temporal prefetching from the current block.
+func (m *MPGraph) cstp(block uint64) []uint64 {
+	maxDegree := m.opt.MaxTotalDegree()
+	out := make([]uint64, 0, maxDegree)
+	seen := map[uint64]bool{}
+	add := func(b uint64) bool {
+		if seen[b] || len(out) >= maxDegree {
+			return len(out) < maxDegree
+		}
+		seen[b] = true
+		out = append(out, b)
+		return true
+	}
+
+	sample := m.hist.Sample(m.phase)
+	delta := m.deltas[m.phase%len(m.deltas)]
+	page := m.pages[m.phase%len(m.pages)]
+
+	// Step 0: spatial deltas at the current block.
+	for _, b := range m.topDeltaBlocks(delta, sample, block) {
+		add(b)
+	}
+
+	// Temporal chain: predicted page -> PBOT offset -> further spatial and
+	// temporal inference, until the degree budget, a missing PBOT entry, or
+	// the temporal depth runs out.
+	cur := sample
+	for step := 0; step < m.opt.TemporalDegree; step++ {
+		tops := page.TopPages(cur, 1)
+		if len(tops) == 0 {
+			break
+		}
+		next := tops[0]
+		entry, ok := m.pbot.Lookup(next)
+		if !ok {
+			break
+		}
+		base := trace.BlockOfPageOffset(next, entry.Offset)
+		add(base)
+		cur = m.hist.SampleWithTail(m.phase, base, entry.PC)
+		for _, b := range m.topDeltaBlocks(delta, cur, base) {
+			if !add(b) {
+				break
+			}
+		}
+		if len(out) >= maxDegree {
+			break
+		}
+	}
+	return out
+}
+
+func (m *MPGraph) topDeltaBlocks(model models.DeltaModel, s *models.Sample, base uint64) []uint64 {
+	return topDeltaBlocks(model, s, base, m.opt.SpatialDegree)
+}
+
+// beginProbation activates all phase predictors in parallel for scoring
+// (Section 4.4.1).
+func (m *MPGraph) beginProbation() {
+	m.probing = true
+	m.probeLeft = m.opt.ProbationWindow
+	m.probeScores = make([]int, len(m.deltas))
+	m.probeSets = make([]map[uint64]bool, len(m.deltas))
+	for i := range m.probeSets {
+		m.probeSets[i] = map[uint64]bool{}
+	}
+}
+
+// feedProbe lets every candidate phase predict from the current history so
+// later demand accesses can score them.
+func (m *MPGraph) feedProbe() {
+	if !m.hist.Warm() {
+		return
+	}
+	base := m.hist.Sample(0).CurrentBlock()
+	for p, dm := range m.deltas {
+		s := m.hist.Sample(p)
+		for _, b := range m.topDeltaBlocks(dm, s, base) {
+			m.probeSets[p][b] = true
+		}
+	}
+}
+
+// scoreProbe credits phases whose predictions cover the arriving access and
+// commits the winner when the window closes.
+func (m *MPGraph) scoreProbe(block uint64) {
+	for p := range m.probeSets {
+		if m.probeSets[p][block] {
+			m.probeScores[p]++
+		}
+	}
+	m.probeLeft--
+	if m.probeLeft > 0 {
+		return
+	}
+	best := 0
+	for p, s := range m.probeScores {
+		if s > m.probeScores[best] {
+			best = p
+		}
+	}
+	if best != m.phase {
+		m.Switches++
+	}
+	m.phase = best
+	m.probing = false
+}

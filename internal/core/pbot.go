@@ -1,0 +1,52 @@
+// Package core implements MPGraph, the paper's primary contribution: an
+// LLC prefetcher for graph analytics driven by a phase-transition detector,
+// phase-specific multi-modality predictors, and the Chain Spatio-Temporal
+// Prefetching (CSTP) controller with its Page Base-Offset Table (PBOT).
+package core
+
+import "mpgraph/internal/trace"
+
+// PBOTEntry is the state CSTP keeps per page: the most recent block offset
+// and the PC that accessed it (Section 4.4.2).
+type PBOTEntry struct {
+	Offset uint64
+	PC     uint64
+}
+
+// PBOT is the page base-offset table: a bounded FIFO-evicted map from page
+// to its latest (offset, PC).
+type PBOT struct {
+	max     int
+	entries map[uint64]PBOTEntry
+	fifo    []uint64
+}
+
+// NewPBOT builds a table bounded to max pages.
+func NewPBOT(max int) *PBOT {
+	if max <= 0 {
+		max = 4096
+	}
+	return &PBOT{max: max, entries: make(map[uint64]PBOTEntry)}
+}
+
+// Update records the latest offset and PC for the page containing block.
+func (p *PBOT) Update(block, pc uint64) {
+	page := trace.PageOfBlock(block)
+	if _, ok := p.entries[page]; !ok {
+		if len(p.fifo) >= p.max {
+			delete(p.entries, p.fifo[0])
+			p.fifo = p.fifo[1:]
+		}
+		p.fifo = append(p.fifo, page)
+	}
+	p.entries[page] = PBOTEntry{Offset: trace.BlockOffset(block), PC: pc}
+}
+
+// Lookup returns the entry for page.
+func (p *PBOT) Lookup(page uint64) (PBOTEntry, bool) {
+	e, ok := p.entries[page]
+	return e, ok
+}
+
+// Len reports the number of tracked pages.
+func (p *PBOT) Len() int { return len(p.entries) }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"mpgraph/internal/models"
+	"mpgraph/internal/phasedet"
+	"mpgraph/internal/sim"
+	"mpgraph/internal/trace"
+)
+
+// PerCoreMPGraph implements the extension sketched in the paper's
+// conclusion: "graph frameworks using asynchronous execution allow processes
+// to go beyond the current phase without a barrier ... the phase transition
+// detector in MPGraph can be extended to each thread". Each core gets its
+// own phase detector and history window, so cores may run different
+// phase-specific predictors simultaneously; the PBOT stays shared because
+// the LLC (and therefore the page state) is shared.
+type PerCoreMPGraph struct {
+	opt      Options
+	historyT int
+
+	detectors []phasedet.Detector
+	deltas    []models.DeltaModel
+	pages     []models.PageModel
+
+	hists  []*models.History
+	phases []int
+	ticks  []int
+	pbot   *PBOT
+
+	// Transitions counts detector firings summed over cores.
+	Transitions int
+}
+
+// NewPerCore builds the per-core variant. makeDetector is called once per
+// core so each core owns independent detector state.
+func NewPerCore(opt Options, historyT, cores int, makeDetector func() phasedet.Detector,
+	deltas []models.DeltaModel, pages []models.PageModel) (*PerCoreMPGraph, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("core: cores must be positive")
+	}
+	if len(deltas) == 0 || len(deltas) != len(pages) {
+		return nil, fmt.Errorf("core: need matching per-phase delta/page models, got %d/%d", len(deltas), len(pages))
+	}
+	if opt.SpatialDegree <= 0 || opt.TemporalDegree < 0 {
+		return nil, fmt.Errorf("core: bad degrees Ds=%d Dt=%d", opt.SpatialDegree, opt.TemporalDegree)
+	}
+	if makeDetector == nil {
+		return nil, fmt.Errorf("core: detector factory required")
+	}
+	if opt.InferEvery <= 0 {
+		opt.InferEvery = 1
+	}
+	m := &PerCoreMPGraph{
+		opt:      opt,
+		historyT: historyT,
+		deltas:   deltas,
+		pages:    pages,
+		pbot:     NewPBOT(opt.PBOTSize),
+		phases:   make([]int, cores),
+		ticks:    make([]int, cores),
+	}
+	for c := 0; c < cores; c++ {
+		m.detectors = append(m.detectors, makeDetector())
+		m.hists = append(m.hists, models.NewHistory(historyT))
+	}
+	return m, nil
+}
+
+// Name implements sim.Prefetcher.
+func (m *PerCoreMPGraph) Name() string { return "mpgraph-percore" }
+
+// InferenceLatencyCycles implements sim.InferenceLatency.
+func (m *PerCoreMPGraph) InferenceLatencyCycles() uint64 { return m.opt.LatencyCycles }
+
+// CorePhase exposes core c's current phase (tests).
+func (m *PerCoreMPGraph) CorePhase(c int) int { return m.phases[c%len(m.phases)] }
+
+// Operate implements sim.Prefetcher: per-core phase tracking with the same
+// CSTP strategy per core stream.
+func (m *PerCoreMPGraph) Operate(acc sim.LLCAccess) []uint64 {
+	c := int(acc.Core) % len(m.hists)
+	m.pbot.Update(acc.Block, acc.PC)
+	m.hists[c].Push(acc.Block, acc.PC)
+
+	if m.detectors[c].Observe(float64(acc.PC)) {
+		m.Transitions++
+		// Asynchronous phase advance: without a barrier to resynchronise,
+		// the core cycles to the next phase model.
+		m.phases[c] = (m.phases[c] + 1) % len(m.deltas)
+	}
+
+	m.ticks[c]++
+	if !m.hists[c].Warm() || m.ticks[c]%m.opt.InferEvery != 0 {
+		return nil
+	}
+	return m.cstp(c, acc.Block)
+}
+
+func (m *PerCoreMPGraph) cstp(c int, block uint64) []uint64 {
+	phase := m.phases[c]
+	hist := m.hists[c]
+	maxDegree := m.opt.MaxTotalDegree()
+	out := make([]uint64, 0, maxDegree)
+	seen := map[uint64]bool{}
+	add := func(b uint64) bool {
+		if seen[b] || len(out) >= maxDegree {
+			return len(out) < maxDegree
+		}
+		seen[b] = true
+		out = append(out, b)
+		return true
+	}
+	delta := m.deltas[phase%len(m.deltas)]
+	page := m.pages[phase%len(m.pages)]
+	sample := hist.Sample(phase)
+	for _, b := range topDeltaBlocks(delta, sample, block, m.opt.SpatialDegree) {
+		add(b)
+	}
+	cur := sample
+	for step := 0; step < m.opt.TemporalDegree; step++ {
+		tops := page.TopPages(cur, 1)
+		if len(tops) == 0 {
+			break
+		}
+		entry, ok := m.pbot.Lookup(tops[0])
+		if !ok {
+			break
+		}
+		base := trace.BlockOfPageOffset(tops[0], entry.Offset)
+		add(base)
+		cur = hist.SampleWithTail(phase, base, entry.PC)
+		for _, b := range topDeltaBlocks(delta, cur, base, m.opt.SpatialDegree) {
+			if !add(b) {
+				break
+			}
+		}
+		if len(out) >= maxDegree {
+			break
+		}
+	}
+	return out
+}
+
+// topDeltaBlocks is the shared top-k delta decode (also used by MPGraph).
+func topDeltaBlocks(model models.DeltaModel, s *models.Sample, base uint64, k int) []uint64 {
+	scores := model.DeltaScores(s)
+	rangeHalf := len(scores) / 2
+	out := make([]uint64, 0, k)
+	for _, cls := range models.TopKClasses(scores, k) {
+		var d int64
+		if cls < rangeHalf {
+			d = int64(cls) - int64(rangeHalf)
+		} else {
+			d = int64(cls-rangeHalf) + 1
+		}
+		if t := int64(base) + d; t >= 0 {
+			out = append(out, uint64(t))
+		}
+	}
+	return out
+}

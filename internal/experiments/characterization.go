@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mpgraph/internal/frameworks"
+	"mpgraph/internal/trace"
+)
+
+// windowFeatures summarises a window of accesses as a feature vector for
+// PCA: a bucket histogram of either page indices or PCs.
+func windowFeatures(accesses []trace.Access, usePC bool, buckets int) []float64 {
+	out := make([]float64, buckets)
+	for _, a := range accesses {
+		var v uint64
+		if usePC {
+			v = a.PC
+		} else {
+			v = trace.Page(a.Addr)
+		}
+		v ^= v >> 17
+		v *= 0x9e3779b97f4a7c15
+		v ^= v >> 33
+		out[v%uint64(buckets)]++
+	}
+	for i := range out {
+		out[i] /= float64(len(accesses))
+	}
+	return out
+}
+
+// pca computes the top-k principal components of row vectors X via power
+// iteration with deflation, returning the projected coordinates and the
+// variance captured by each component.
+func pca(X [][]float64, k int) (proj [][]float64, explained []float64) {
+	if len(X) == 0 {
+		return nil, nil
+	}
+	dim := len(X[0])
+	// Center.
+	mean := make([]float64, dim)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(X))
+	}
+	centered := make([][]float64, len(X))
+	for i, row := range X {
+		c := make([]float64, dim)
+		for j, v := range row {
+			c[j] = v - mean[j]
+		}
+		centered[i] = c
+	}
+	// Covariance (dim x dim).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, row := range centered {
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				cov[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := range cov {
+		for j := range cov[i] {
+			cov[i][j] /= float64(len(X))
+		}
+	}
+	proj = make([][]float64, len(X))
+	for i := range proj {
+		proj[i] = make([]float64, k)
+	}
+	for comp := 0; comp < k; comp++ {
+		// Power iteration. The start vector must not be orthogonal to the
+		// data; a uniform vector would be, because histogram features sum
+		// to a constant, so use a deterministic non-uniform direction.
+		v := make([]float64, dim)
+		norm0 := 0.0
+		for i := range v {
+			v[i] = math.Cos(float64(i+comp) + 1)
+			norm0 += v[i] * v[i]
+		}
+		norm0 = math.Sqrt(norm0)
+		for i := range v {
+			v[i] /= norm0
+		}
+		var lambda float64
+		for iter := 0; iter < 100; iter++ {
+			nv := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					nv[i] += cov[i][j] * v[j]
+				}
+			}
+			norm := 0.0
+			for _, x := range nv {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm < 1e-12 {
+				break
+			}
+			for i := range nv {
+				nv[i] /= norm
+			}
+			v = nv
+			lambda = norm
+		}
+		explained = append(explained, lambda)
+		for i, row := range centered {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * v[j]
+			}
+			proj[i][comp] = dot
+		}
+		// Deflate.
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				cov[i][j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+	return proj, explained
+}
+
+// clusterSeparation quantifies how separated phase clusters are in the
+// projected space: between-phase centroid distance over mean within-phase
+// spread (higher = more separated, the visual claim of Fig. 2).
+func clusterSeparation(proj [][]float64, labels []int) float64 {
+	byPhase := map[int][][]float64{}
+	for i, p := range proj {
+		byPhase[labels[i]] = append(byPhase[labels[i]], p)
+	}
+	if len(byPhase) < 2 {
+		return 0
+	}
+	centroids := map[int][]float64{}
+	within := 0.0
+	n := 0
+	for ph, rows := range byPhase {
+		c := make([]float64, len(rows[0]))
+		for _, row := range rows {
+			for j, v := range row {
+				c[j] += v
+			}
+		}
+		for j := range c {
+			c[j] /= float64(len(rows))
+		}
+		centroids[ph] = c
+		for _, row := range rows {
+			within += dist(row, c)
+			n++
+		}
+	}
+	within /= float64(n)
+	between := 0.0
+	pairs := 0
+	phases := make([]int, 0, len(centroids))
+	for ph := range centroids {
+		phases = append(phases, ph)
+	}
+	for i := 0; i < len(phases); i++ {
+		for j := i + 1; j < len(phases); j++ {
+			between += dist(centroids[phases[i]], centroids[phases[j]])
+			pairs++
+		}
+	}
+	between /= float64(pairs)
+	if within == 0 {
+		return math.Inf(1)
+	}
+	return between / within
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// FigurePCA regenerates Fig. 2: PCA of memory-access and PC window features
+// on GPOP CC and PR, reporting how separated the Scatter/Gather clusters
+// are (the paper's justification for phase-specific models and PC-based
+// detection).
+func FigurePCA(w io.Writer, r *Runner) error {
+	section(w, "Figure 2: PCA of accesses and PCs per phase (GPOP CC, PR)")
+	t := &Table{Header: []string{"App", "Features", "Var(C1)", "Var(C2)", "Var(C3)", "Separation"}}
+	for _, app := range []frameworks.App{frameworks.CC, frameworks.PR} {
+		wl := Workload{Framework: "gpop", App: app, Dataset: r.Opt.Datasets[0]}
+		d, err := r.Data(wl)
+		if err != nil {
+			return err
+		}
+		const window, buckets = 64, 32
+		for _, usePC := range []bool{false, true} {
+			var X [][]float64
+			var labels []int
+			for lo := 0; lo+window <= len(d.LLCTest) && len(X) < 400; lo += window {
+				win := d.LLCTest[lo : lo+window]
+				// Keep windows that sit inside one phase.
+				pure := true
+				for _, a := range win {
+					if a.Phase != win[0].Phase {
+						pure = false
+						break
+					}
+				}
+				if !pure {
+					continue
+				}
+				X = append(X, windowFeatures(win, usePC, buckets))
+				labels = append(labels, int(win[0].Phase))
+			}
+			proj, explained := pca(X, 3)
+			sep := clusterSeparation(proj, labels)
+			name := "accesses"
+			if usePC {
+				name = "PCs"
+			}
+			for len(explained) < 3 {
+				explained = append(explained, 0)
+			}
+			t.Add(string(app), name,
+				fmt.Sprintf("%.2e", explained[0]),
+				fmt.Sprintf("%.2e", explained[1]),
+				fmt.Sprintf("%.2e", explained[2]),
+				f3(sep))
+		}
+	}
+	t.Print(w)
+	fmt.Fprintln(w, "Separation = between-phase centroid distance / within-phase spread; > 1 means distinct clusters per phase.")
+	return nil
+}
+
+// FigurePageJumps regenerates Fig. 3: the distribution of page jumps in
+// GPOP's scatter and gather phases, demonstrating the wide jumps that
+// defeat purely spatial prefetchers.
+func FigurePageJumps(w io.Writer, r *Runner) error {
+	section(w, "Figure 3: Memory access page jumps in GPOP (per phase)")
+	wl := Workload{Framework: "gpop", App: frameworks.PR, Dataset: r.Opt.Datasets[0]}
+	d, err := r.Data(wl)
+	if err != nil {
+		return err
+	}
+	t := &Table{Header: []string{"Phase", "|jump|=0", "1-8", "9-64", ">64", "MaxJump"}}
+	phaseNames := []string{"scatter", "gather"}
+	for phase := 0; phase < 2; phase++ {
+		var zero, small, mid, wide int
+		maxJump := int64(0)
+		var prev uint64
+		havePrev := false
+		for _, a := range d.LLCTest {
+			if int(a.Phase) != phase {
+				havePrev = false
+				continue
+			}
+			page := trace.Page(a.Addr)
+			if havePrev {
+				j := int64(page) - int64(prev)
+				if j < 0 {
+					j = -j
+				}
+				if j > maxJump {
+					maxJump = j
+				}
+				switch {
+				case j == 0:
+					zero++
+				case j <= 8:
+					small++
+				case j <= 64:
+					mid++
+				default:
+					wide++
+				}
+			}
+			prev = page
+			havePrev = true
+		}
+		total := zero + small + mid + wide
+		if total == 0 {
+			total = 1
+		}
+		t.Add(phaseNames[phase],
+			pct(float64(zero)/float64(total)), pct(float64(small)/float64(total)),
+			pct(float64(mid)/float64(total)), pct(float64(wide)/float64(total)),
+			fmt.Sprintf("%d", maxJump))
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md §4). Each runner
+// takes a shared Options value, builds (and caches) the workload traces, LLC
+// streams, and trained model suites it needs, and prints the same rows or
+// series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpgraph/internal/frameworks"
+	"mpgraph/internal/models"
+	"mpgraph/internal/sim"
+)
+
+// Options is the shared experiment configuration.
+type Options struct {
+	// Scale selects "small" (default: reduced dims/graphs, minutes) or
+	// "paper" (Table 5 dims, larger graphs, hours).
+	Scale string
+	// Datasets to sweep (default: rmat only at small scale; all seven at
+	// paper scale).
+	Datasets []string
+	// Apps restricts the benchmark applications (nil = all of Table 1).
+	Apps []frameworks.App
+	// GraphScale overrides log2(vertices) (0 = per-scale default).
+	GraphScale int
+	// TraceIterations is how many framework super-steps to trace
+	// (iteration 1 trains, the rest test).
+	TraceIterations int
+	// MaxTestAccesses caps the raw test trace fed to the simulator.
+	MaxTestAccesses int
+	// TrainSamples caps the training dataset per model.
+	TrainSamples int
+	// EvalSamples caps prediction-metric evaluation.
+	EvalSamples int
+	// Epochs is the training epoch count.
+	Epochs int
+	// Seed drives everything stochastic.
+	Seed int64
+}
+
+// DefaultOptions returns the small-scale configuration.
+func DefaultOptions() Options {
+	return Options{
+		Scale:           "small",
+		Datasets:        []string{"rmat"},
+		TraceIterations: 6,
+		MaxTestAccesses: 100_000,
+		TrainSamples:    1000,
+		EvalSamples:     400,
+		Epochs:          2,
+		Seed:            1,
+	}
+}
+
+// PaperOptions returns the paper-scale configuration (slow: hours).
+func PaperOptions() Options {
+	return Options{
+		Scale: "paper",
+		Datasets: []string{
+			"amazon", "google", "roadCA", "soclj", "wiki", "youtube", "rmat",
+		},
+		TraceIterations: 11,
+		MaxTestAccesses: 2_000_000,
+		TrainSamples:    20_000,
+		EvalSamples:     4000,
+		Epochs:          4,
+		Seed:            1,
+	}
+}
+
+// ModelConfig returns the model configuration for the scale.
+func (o Options) ModelConfig() models.Config {
+	if o.Scale == "paper" {
+		c := models.PaperConfig()
+		c.Seed = o.Seed
+		return c
+	}
+	c := models.SmallConfig()
+	c.Seed = o.Seed
+	return c
+}
+
+// SimConfig returns the simulator configuration for the scale: Table 3 at
+// paper scale; a proportionally shrunk hierarchy at small scale so the
+// reduced graphs still exceed the LLC (same ratios, faster runs).
+func (o Options) SimConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	if o.Scale == "paper" {
+		return cfg
+	}
+	cfg.L1Sets = 64   // 16 KB
+	cfg.L2Sets = 128  // 64 KB
+	cfg.LLCSets = 256 // 256 KB
+	return cfg
+}
+
+// graphScale returns log2(vertices) for generated graphs.
+func (o Options) graphScale() int {
+	if o.GraphScale > 0 {
+		return o.GraphScale
+	}
+	if o.Scale == "paper" {
+		return 15
+	}
+	return 12
+}
+
+// frameworkOptions returns the trace-generation options.
+func (o Options) frameworkOptions() frameworks.Options {
+	return frameworks.Options{
+		Cores:         4,
+		MaxIterations: o.TraceIterations,
+		Seed:          o.Seed,
+		PartitionSize: 1 << (o.graphScale() - 3),
+	}
+}
+
+// Workload identifies one framework × application × dataset cell.
+type Workload struct {
+	Framework string
+	App       frameworks.App
+	Dataset   string
+}
+
+func (w Workload) String() string {
+	return fmt.Sprintf("%s/%s/%s", w.Framework, w.App, w.Dataset)
+}
+
+// Workloads enumerates the Table 1 benchmark matrix over the configured
+// datasets, honouring the Apps filter.
+func (o Options) Workloads() []Workload {
+	var out []Workload
+	for _, fw := range frameworks.All() {
+		for _, app := range fw.Apps() {
+			if len(o.Apps) > 0 && !containsApp(o.Apps, app) {
+				continue
+			}
+			for _, ds := range o.Datasets {
+				out = append(out, Workload{Framework: fw.Name(), App: app, Dataset: ds})
+			}
+		}
+	}
+	return out
+}
+
+func containsApp(apps []frameworks.App, app frameworks.App) bool {
+	for _, a := range apps {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
+
+// section prints a report header.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/frameworks"
+	"mpgraph/internal/graph"
+	"mpgraph/internal/models"
+	"mpgraph/internal/phasedet"
+	"mpgraph/internal/prefetch"
+	"mpgraph/internal/sim"
+	"mpgraph/internal/trace"
+)
+
+// Runner caches the expensive intermediate artifacts (graphs, traces, LLC
+// streams, trained model suites) across experiment invocations.
+type Runner struct {
+	Opt Options
+
+	mu     sync.Mutex
+	graphs map[string]*graph.Graph
+	data   map[Workload]*WorkloadData
+	suites map[Workload]*Suite
+
+	sweepRows  map[string][]prefetchRow
+	sweepOrder []string
+}
+
+// NewRunner builds a runner for opt.
+func NewRunner(opt Options) *Runner {
+	return &Runner{
+		Opt:    opt,
+		graphs: map[string]*graph.Graph{},
+		data:   map[Workload]*WorkloadData{},
+		suites: map[Workload]*Suite{},
+	}
+}
+
+// WorkloadData is everything derived from one workload trace.
+type WorkloadData struct {
+	Trace     *trace.Trace
+	Result    *frameworks.Result
+	NumPhases int
+	// TestRaw is the raw (pre-cache) access stream of the test iterations,
+	// capped at MaxTestAccesses — the input to prefetcher simulations.
+	TestRaw []trace.Access
+	// LLCTrain and LLCTest are the shared-LLC streams captured from the
+	// train (iteration 1) and test slices under no prefetching.
+	LLCTrain []trace.Access
+	LLCTest  []trace.Access
+	// BaselineMetrics is the no-prefetch simulation of TestRaw.
+	BaselineMetrics sim.Metrics
+}
+
+// Graph returns (generating once) the named dataset at the configured scale.
+func (r *Runner) Graph(name string) (*graph.Graph, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.graphs[name]; ok {
+		return g, nil
+	}
+	spec, err := graph.DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := spec.GenerateScale(r.Opt.graphScale())
+	if err != nil {
+		return nil, err
+	}
+	r.graphs[name] = g
+	return g, nil
+}
+
+// Data returns (computing once) the trace pipeline outputs for w.
+func (r *Runner) Data(w Workload) (*WorkloadData, error) {
+	r.mu.Lock()
+	if d, ok := r.data[w]; ok {
+		r.mu.Unlock()
+		return d, nil
+	}
+	r.mu.Unlock()
+
+	g, err := r.Graph(w.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := frameworks.ByName(w.Framework)
+	if err != nil {
+		return nil, err
+	}
+	tr, res, err := fw.Run(g, w.App, r.Opt.frameworkOptions())
+	if err != nil {
+		return nil, err
+	}
+	if tr.NumIterations() < 2 {
+		return nil, fmt.Errorf("experiments: %s produced %d iterations, need >= 2", w, tr.NumIterations())
+	}
+
+	d := &WorkloadData{Trace: tr, Result: res, NumPhases: fw.NumPhases()}
+
+	// Split: iteration 1 trains, the rest test (Section 5.1.4).
+	trainLo, trainHi, err := tr.Iteration(0)
+	if err != nil {
+		return nil, err
+	}
+	trainRaw := tr.Accesses[trainLo:trainHi]
+	testRawFull := tr.Accesses[trainHi:]
+	// Simulations are capped for cost; the LLC streams used for prediction
+	// and detection evaluation cover the full test slice so every barrier
+	// transition is represented.
+	testRaw := testRawFull
+	if len(testRaw) > r.Opt.MaxTestAccesses {
+		testRaw = testRaw[:r.Opt.MaxTestAccesses]
+	}
+	d.TestRaw = testRaw
+
+	capture := func(raw []trace.Access) ([]trace.Access, sim.Metrics, error) {
+		eng, err := sim.NewEngine(r.Opt.SimConfig(), nil)
+		if err != nil {
+			return nil, sim.Metrics{}, err
+		}
+		var llc []trace.Access
+		eng.Recorder = func(a trace.Access, hit bool) { llc = append(llc, a) }
+		m := eng.Run(raw)
+		return llc, m, nil
+	}
+	if d.LLCTrain, _, err = capture(trainRaw); err != nil {
+		return nil, err
+	}
+	if d.LLCTest, _, err = capture(testRawFull); err != nil {
+		return nil, err
+	}
+	if _, d.BaselineMetrics, err = capture(testRaw); err != nil {
+		return nil, err
+	}
+	minStream := r.Opt.ModelConfig().HistoryT + r.Opt.ModelConfig().LookForwardF + 2
+	if len(d.LLCTrain) < minStream || len(d.LLCTest) < minStream {
+		return nil, fmt.Errorf("experiments: %s LLC streams too short (%d train / %d test)", w, len(d.LLCTrain), len(d.LLCTest))
+	}
+
+	r.mu.Lock()
+	r.data[w] = d
+	r.mu.Unlock()
+	return d, nil
+}
+
+// Suite bundles the datasets and trained models for one workload.
+type Suite struct {
+	Cfg       models.Config
+	Train     *models.Dataset
+	Test      *models.Dataset
+	NumPhases int
+
+	// Delta predictors (Table 6 rows).
+	LSTMDelta *models.LSTMDelta
+	AttnDelta *models.AttnDelta
+	AMMADelta *models.AMMADelta
+	PIDelta   *models.AMMADelta
+	PSDelta   *models.PhaseSpecificDelta
+
+	// Page predictors (Table 7 rows).
+	LSTMPage *models.LSTMPage
+	AttnPage *models.AttnPage
+	AMMAPage *models.AMMAPage
+	PIPage   *models.AMMAPage
+	PSPage   *models.PhaseSpecificPage
+}
+
+// Suite returns (training once) the full model suite for w.
+func (r *Runner) Suite(w Workload) (*Suite, error) {
+	r.mu.Lock()
+	if s, ok := r.suites[w]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	d, err := r.Data(w)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.Opt.ModelConfig()
+	s := &Suite{Cfg: cfg, NumPhases: d.NumPhases}
+	if s.Train, err = r.buildDataset(cfg, d.LLCTrain, nil); err != nil {
+		return nil, err
+	}
+	if s.Test, err = r.buildDataset(cfg, d.LLCTest, s.Train); err != nil {
+		return nil, err
+	}
+
+	seed := r.Opt.Seed
+	topt := models.TrainOptions{Epochs: r.Opt.Epochs, Seed: seed, MaxSamplesPerEpoch: r.Opt.TrainSamples}
+	// Phase-specific models see only their own phase's slice of each epoch;
+	// scaling the epoch count by the phase count gives every per-phase
+	// model the same number of gradient steps as the single-model rows.
+	toptPS := topt
+	toptPS.Epochs = topt.Epochs * d.NumPhases
+
+	s.LSTMDelta = models.NewLSTMDelta(cfg, seed+1)
+	s.AttnDelta = models.NewAttnDelta(cfg, seed+2)
+	s.AMMADelta = models.NewAMMADelta(cfg, s.Train.PCs, 0, seed+3)
+	s.PIDelta = models.NewAMMADelta(cfg, s.Train.PCs, d.NumPhases, seed+4)
+	s.PSDelta = models.NewPhaseSpecificDelta(cfg, s.Train.PCs, d.NumPhases, seed+5)
+	for _, m := range []models.DeltaModel{s.LSTMDelta, s.AttnDelta, s.AMMADelta, s.PIDelta} {
+		if err := models.TrainDelta(m, s.Train, topt); err != nil {
+			return nil, err
+		}
+	}
+	if err := models.TrainDelta(s.PSDelta, s.Train, toptPS); err != nil {
+		return nil, err
+	}
+
+	s.LSTMPage = models.NewLSTMPage(cfg, s.Train.Pages, s.Train.PCs, seed+6)
+	s.AttnPage = models.NewAttnPage(cfg, s.Train.Pages, s.Train.PCs, seed+7)
+	s.AMMAPage = models.NewAMMAPage(cfg, s.Train.Pages, s.Train.PCs, 0, seed+8)
+	s.PIPage = models.NewAMMAPage(cfg, s.Train.Pages, s.Train.PCs, d.NumPhases, seed+9)
+	s.PSPage = models.NewPhaseSpecificPage(cfg, s.Train.Pages, s.Train.PCs, d.NumPhases, seed+10)
+	for _, m := range []models.PageModel{s.LSTMPage, s.AttnPage, s.AMMAPage, s.PIPage} {
+		if err := models.TrainPage(m, s.Train, topt); err != nil {
+			return nil, err
+		}
+	}
+	if err := models.TrainPage(s.PSPage, s.Train, toptPS); err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.suites[w] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// buildDataset extracts a dataset, auto-tuning the stride so the sample
+// count lands near the training budget.
+func (r *Runner) buildDataset(cfg models.Config, stream []trace.Access, share *models.Dataset) (*models.Dataset, error) {
+	budget := r.Opt.TrainSamples * 2
+	if budget <= 0 {
+		budget = 3000
+	}
+	usable := len(stream) - cfg.HistoryT - cfg.LookForwardF
+	stride := usable/budget + 1
+	opt := models.DatasetOptions{Stride: stride, MaxSamples: budget}
+	if share != nil {
+		opt.Pages, opt.PCs = share.Pages, share.PCs
+	}
+	return models.BuildDataset(cfg, stream, opt)
+}
+
+// Prefetchers builds the Section 5.4.1 comparison set for w: BO, ISB,
+// Delta-LSTM, Voyager, TransFetch, and MPGraph (AMMA-PS + Soft-KSWIN +
+// CSTP), all at total degree 6.
+func (r *Runner) Prefetchers(w Workload) ([]sim.Prefetcher, error) {
+	s, err := r.Suite(w)
+	if err != nil {
+		return nil, err
+	}
+	T := s.Cfg.HistoryT
+	mlOpt := prefetch.MLOptions{Degree: 6}
+
+	mp, err := r.MPGraph(w, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return []sim.Prefetcher{
+		prefetch.NewBO(prefetch.DefaultBOConfig()),
+		prefetch.NewISB(prefetch.DefaultISBConfig()),
+		prefetch.NewDeltaLSTM(s.LSTMDelta, T, mlOpt),
+		prefetch.NewVoyager(s.LSTMPage, s.LSTMDelta, T, mlOpt),
+		prefetch.NewTransFetch(s.AttnDelta, T, mlOpt),
+		mp,
+	}, nil
+}
+
+// MPGraph assembles the full prefetcher for w with the given controller
+// options: per-phase AMMA predictors plus a Soft-KSWIN detector.
+func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
+	s, err := r.Suite(w)
+	if err != nil {
+		return nil, err
+	}
+	deltas := make([]models.DeltaModel, len(s.PSDelta.Models))
+	copy(deltas, s.PSDelta.Models)
+	pages := make([]models.PageModel, len(s.PSPage.Models))
+	copy(pages, s.PSPage.Models)
+	det := phasedet.NewSoftKSWIN(phasedet.KSWINConfig{Seed: r.Opt.Seed})
+	return core.New(opt, s.Cfg.HistoryT, det, deltas, pages)
+}
+
+// Simulate runs pf over w's test trace and returns the metrics plus the
+// cached no-prefetch baseline.
+func (r *Runner) Simulate(w Workload, pf sim.Prefetcher) (sim.Metrics, sim.Metrics, error) {
+	d, err := r.Data(w)
+	if err != nil {
+		return sim.Metrics{}, sim.Metrics{}, err
+	}
+	eng, err := sim.NewEngine(r.Opt.SimConfig(), pf)
+	if err != nil {
+		return sim.Metrics{}, sim.Metrics{}, err
+	}
+	return eng.Run(d.TestRaw), d.BaselineMetrics, nil
+}

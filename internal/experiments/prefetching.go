@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/models"
+	"mpgraph/internal/phasedet"
+	"mpgraph/internal/prefetch"
+	"mpgraph/internal/sim"
+)
+
+// prefetchRow is one (workload, prefetcher) simulation outcome.
+type prefetchRow struct {
+	Workload Workload
+	Metrics  sim.Metrics
+	Baseline sim.Metrics
+}
+
+// runPrefetchSweep simulates all Section 5.4.1 prefetchers over all
+// workloads; Figs. 10-12 share one sweep via the Runner cache.
+func runPrefetchSweep(r *Runner) (map[string][]prefetchRow, []string, error) {
+	r.mu.Lock()
+	if r.sweepRows != nil {
+		rows, order := r.sweepRows, r.sweepOrder
+		r.mu.Unlock()
+		return rows, order, nil
+	}
+	r.mu.Unlock()
+	results := map[string][]prefetchRow{}
+	var order []string
+	for _, wl := range r.Opt.Workloads() {
+		pfs, err := r.Prefetchers(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pf := range pfs {
+			m, base, err := r.Simulate(wl, pf)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, seen := results[pf.Name()]; !seen {
+				order = append(order, pf.Name())
+			}
+			results[pf.Name()] = append(results[pf.Name()], prefetchRow{Workload: wl, Metrics: m, Baseline: base})
+		}
+	}
+	r.mu.Lock()
+	r.sweepRows, r.sweepOrder = results, order
+	r.mu.Unlock()
+	return results, order, nil
+}
+
+// FigurePrefetchAccuracy regenerates Fig. 10: prefetch accuracy per
+// application for every prefetcher.
+func FigurePrefetchAccuracy(w io.Writer, r *Runner) error {
+	results, order, err := runPrefetchSweep(r)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 10: Prefetch accuracy")
+	printPrefetchTable(w, results, order, func(row prefetchRow) float64 {
+		return row.Metrics.Accuracy()
+	})
+	return nil
+}
+
+// FigurePrefetchCoverage regenerates Fig. 11: prefetch coverage.
+func FigurePrefetchCoverage(w io.Writer, r *Runner) error {
+	results, order, err := runPrefetchSweep(r)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 11: Prefetch coverage")
+	printPrefetchTable(w, results, order, func(row prefetchRow) float64 {
+		return row.Metrics.Coverage()
+	})
+	return nil
+}
+
+// FigureIPC regenerates Fig. 12: IPC improvement over no prefetching, per
+// workload and averaged per framework.
+func FigureIPC(w io.Writer, r *Runner) error {
+	results, order, err := runPrefetchSweep(r)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 12: IPC improvement")
+	printPrefetchTable(w, results, order, func(row prefetchRow) float64 {
+		return row.Metrics.IPCImprovement(row.Baseline)
+	})
+	// Per-framework averages (the paper's headline 12.53/21.23/14.57%).
+	t := &Table{Header: append([]string{"Framework avg"}, order...)}
+	for _, fw := range []string{"gpop", "xstream", "powergraph"} {
+		row := []string{fw}
+		for _, name := range order {
+			var vals []float64
+			for _, pr := range results[name] {
+				if pr.Workload.Framework == fw {
+					vals = append(vals, pr.Metrics.IPCImprovement(pr.Baseline))
+				}
+			}
+			row = append(row, pct(mean(vals)))
+		}
+		t.Add(row...)
+	}
+	fmt.Fprintln(w)
+	t.Print(w)
+	return nil
+}
+
+func printPrefetchTable(w io.Writer, results map[string][]prefetchRow, order []string, metric func(prefetchRow) float64) {
+	t := &Table{Header: append([]string{"Workload"}, order...)}
+	if len(order) == 0 {
+		return
+	}
+	for i, pr := range results[order[0]] {
+		row := []string{pr.Workload.String()}
+		for _, name := range order {
+			row = append(row, pct(metric(results[name][i])))
+		}
+		t.Add(row...)
+	}
+	avg := []string{"average"}
+	for _, name := range order {
+		var vals []float64
+		for _, pr := range results[name] {
+			vals = append(vals, metric(pr))
+		}
+		avg = append(avg, pct(mean(vals)))
+	}
+	t.Add(avg...)
+	t.Print(w)
+}
+
+// AblationCSTP isolates the chain spatio-temporal strategy (DESIGN.md §5):
+// MPGraph with spatial-only prefetching (Dt=0), a deeper spatial-only
+// budget, and the full chain, on one representative workload.
+func AblationCSTP(w io.Writer, r *Runner) error {
+	wl := r.Opt.Workloads()[0]
+	section(w, fmt.Sprintf("Ablation: CSTP chaining (workload %s)", wl))
+	t := &Table{Header: []string{"Variant", "Ds", "Dt", "Accuracy", "Coverage", "IPCImpv"}}
+	variants := []struct {
+		name   string
+		ds, dt int
+	}{
+		{"spatial-only", 2, 0},
+		{"spatial-only-deep", 6, 0},
+		{"cstp-shallow", 2, 1},
+		{"cstp-full", 2, 2},
+	}
+	for _, v := range variants {
+		opt := core.DefaultOptions()
+		opt.SpatialDegree, opt.TemporalDegree = v.ds, v.dt
+		pf, err := r.MPGraph(wl, opt)
+		if err != nil {
+			return err
+		}
+		m, base, err := r.Simulate(wl, pf)
+		if err != nil {
+			return err
+		}
+		t.Add(v.name, d(v.ds), d(v.dt), pct(m.Accuracy()), pct(m.Coverage()), pct(m.IPCImprovement(base)))
+	}
+	t.Print(w)
+	return nil
+}
+
+// AblationPhases isolates the value of phase handling: MPGraph with the
+// detector, with oracle phase labels, and locked to a single phase model.
+func AblationPhases(w io.Writer, r *Runner) error {
+	wl := r.Opt.Workloads()[0]
+	section(w, fmt.Sprintf("Ablation: phase handling (workload %s)", wl))
+	t := &Table{Header: []string{"Variant", "Accuracy", "Coverage", "IPCImpv"}}
+
+	detOpt := core.DefaultOptions()
+	pf, err := r.MPGraph(wl, detOpt)
+	if err != nil {
+		return err
+	}
+	m, base, err := r.Simulate(wl, pf)
+	if err != nil {
+		return err
+	}
+	t.Add("soft-kswin detector", pct(m.Accuracy()), pct(m.Coverage()), pct(m.IPCImprovement(base)))
+
+	oracleOpt := core.DefaultOptions()
+	oracleOpt.OraclePhase = true
+	pf, err = r.MPGraph(wl, oracleOpt)
+	if err != nil {
+		return err
+	}
+	m, base, err = r.Simulate(wl, pf)
+	if err != nil {
+		return err
+	}
+	t.Add("oracle phase", pct(m.Accuracy()), pct(m.Coverage()), pct(m.IPCImprovement(base)))
+	t.Print(w)
+	return nil
+}
+
+// AblationPerCore compares the shared-detector MPGraph with the per-core
+// detector variant (the asynchronous-framework extension from the paper's
+// conclusion) on one representative workload.
+func AblationPerCore(w io.Writer, r *Runner) error {
+	wl := r.Opt.Workloads()[0]
+	section(w, fmt.Sprintf("Ablation: per-core phase detection (workload %s)", wl))
+	s, err := r.Suite(wl)
+	if err != nil {
+		return err
+	}
+	t := &Table{Header: []string{"Variant", "Accuracy", "Coverage", "IPCImpv", "Transitions"}}
+
+	shared, err := r.MPGraph(wl, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	m, base, err := r.Simulate(wl, shared)
+	if err != nil {
+		return err
+	}
+	t.Add("shared detector", pct(m.Accuracy()), pct(m.Coverage()), pct(m.IPCImprovement(base)), d(shared.Transitions))
+
+	deltas := make([]models.DeltaModel, len(s.PSDelta.Models))
+	copy(deltas, s.PSDelta.Models)
+	pages := make([]models.PageModel, len(s.PSPage.Models))
+	copy(pages, s.PSPage.Models)
+	seed := r.Opt.Seed
+	perCore, err := core.NewPerCore(core.DefaultOptions(), s.Cfg.HistoryT, 4, func() phasedet.Detector {
+		seed++
+		return phasedet.NewSoftKSWIN(phasedet.KSWINConfig{Seed: seed})
+	}, deltas, pages)
+	if err != nil {
+		return err
+	}
+	m, base, err = r.Simulate(wl, perCore)
+	if err != nil {
+		return err
+	}
+	t.Add("per-core detectors", pct(m.Accuracy()), pct(m.Coverage()), pct(m.IPCImprovement(base)), d(perCore.Transitions))
+	t.Print(w)
+	return nil
+}
+
+// TableExtendedBaselines goes beyond the paper's comparison set: the other
+// rule-based prefetchers its related-work section discusses (VLDP, Domino,
+// IMP) plus feedback-directed throttling layered on BO, all on one
+// representative workload. Rule-based only, so this table is cheap.
+func TableExtendedBaselines(w io.Writer, r *Runner) error {
+	wl := r.Opt.Workloads()[0]
+	section(w, fmt.Sprintf("Extended rule-based baselines (workload %s)", wl))
+	t := &Table{Header: []string{"Prefetcher", "Accuracy", "Coverage", "IPCImpv", "Issued"}}
+	pfs := []sim.Prefetcher{
+		prefetch.NewBO(prefetch.DefaultBOConfig()),
+		prefetch.NewISB(prefetch.DefaultISBConfig()),
+		prefetch.NewVLDP(prefetch.DefaultVLDPConfig()),
+		prefetch.NewDomino(prefetch.DefaultDominoConfig()),
+		prefetch.NewIMP(prefetch.DefaultIMPConfig()),
+		prefetch.NewSMS(prefetch.DefaultSMSConfig()),
+		prefetch.NewMarkov(prefetch.DefaultMarkovConfig()),
+		prefetch.NewThrottle(prefetch.NewBO(prefetch.DefaultBOConfig()), prefetch.DefaultThrottleConfig()),
+		prefetch.NewEnsemble(prefetch.DefaultEnsembleConfig(),
+			prefetch.NewBO(prefetch.DefaultBOConfig()),
+			prefetch.NewDomino(prefetch.DefaultDominoConfig()),
+			prefetch.NewVLDP(prefetch.DefaultVLDPConfig())),
+	}
+	for _, pf := range pfs {
+		m, base, err := r.Simulate(wl, pf)
+		if err != nil {
+			return err
+		}
+		t.Add(pf.Name(), pct(m.Accuracy()), pct(m.Coverage()), pct(m.IPCImprovement(base)), d(int(m.PrefetchesIssued)))
+	}
+	t.Print(w)
+	return nil
+}

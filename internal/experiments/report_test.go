@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/trace"
+)
+
+func TestTablePrinterAlignment(t *testing.T) {
+	tbl := &Table{Header: []string{"Name", "Value"}}
+	tbl.Add("short", "1")
+	tbl.Add("a-much-longer-name", "22")
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+sep+2 rows, got %d lines", len(lines))
+	}
+	// The separator must be at least as wide as the longest cell.
+	if !strings.Contains(lines[1], strings.Repeat("-", len("a-much-longer-name"))) {
+		t.Fatalf("separator too short: %q", lines[1])
+	}
+	// Columns align: "Value" column starts at the same offset in all rows.
+	col := strings.Index(lines[0], "Value")
+	if lines[2][col:col+1] != "1" || lines[3][col:col+2] != "22" {
+		t.Fatalf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableRowWiderThanHeader(t *testing.T) {
+	tbl := &Table{Header: []string{"A"}}
+	tbl.Add("x", "extra-cell")
+	var buf bytes.Buffer
+	tbl.Print(&buf) // must not panic on ragged rows
+	if !strings.Contains(buf.String(), "extra-cell") {
+		t.Fatal("extra cell dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f3(0.12345) != "0.123" || f4(0.12345) != "0.1235" {
+		t.Fatal("float formats")
+	}
+	if pct(0.1234) != "12.34%" {
+		t.Fatalf("pct = %q", pct(0.1234))
+	}
+	if d(42) != "42" {
+		t.Fatal("d")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if math.Abs(mean([]float64{1, 2, 3})-2) > 1e-12 {
+		t.Fatal("mean")
+	}
+}
+
+func TestPCAOnKnownData(t *testing.T) {
+	// Points along the x-axis with small y noise: first component must
+	// capture nearly all variance.
+	var X [][]float64
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		X = append(X, []float64{x, 0.01 * float64(i%3)})
+	}
+	proj, explained := pca(X, 2)
+	if len(proj) != 50 || len(explained) != 2 {
+		t.Fatal("pca output shape")
+	}
+	if explained[0] < 100*explained[1] {
+		t.Fatalf("first component should dominate: %v", explained)
+	}
+	// Empty input.
+	p2, e2 := pca(nil, 2)
+	if p2 != nil || e2 != nil {
+		t.Fatal("empty pca")
+	}
+}
+
+func TestClusterSeparation(t *testing.T) {
+	// Two tight, distant clusters separate strongly.
+	var proj [][]float64
+	var labels []int
+	for i := 0; i < 20; i++ {
+		proj = append(proj, []float64{float64(i%3) * 0.01, 0})
+		labels = append(labels, 0)
+		proj = append(proj, []float64{100 + float64(i%3)*0.01, 0})
+		labels = append(labels, 1)
+	}
+	if sep := clusterSeparation(proj, labels); sep < 100 {
+		t.Fatalf("separation %v, want large", sep)
+	}
+	// One cluster: undefined, reported as 0.
+	if sep := clusterSeparation(proj[:3], []int{0, 0, 0}); sep != 0 {
+		t.Fatal("single-phase separation must be 0")
+	}
+}
+
+func TestPCStreamMajorMerge(t *testing.T) {
+	// Build labels: 1000 of phase 0, a 50-access blip of phase 1, 1000 of
+	// phase 0, then 1000 of phase 1. With minPhase=200 only the final
+	// transition is major.
+	accesses := makePhases([]int{1000, 50, 1000, 1000}, []uint8{0, 1, 0, 1})
+	xs, truth := pcStream(accesses, 200)
+	if len(xs) != 3050 {
+		t.Fatal("stream length")
+	}
+	if len(truth) != 1 || truth[0] != 2050 {
+		t.Fatalf("major transitions = %v, want [2050]", truth)
+	}
+	// With minPhase=1 every change is a transition.
+	_, all := pcStream(accesses, 1)
+	if len(all) != 3 {
+		t.Fatalf("raw transitions = %v", all)
+	}
+}
+
+func TestDetectionTolerance(t *testing.T) {
+	tol := detectionTolerance([]int{1000, 5000}, 10000)
+	if tol != 1000/2 {
+		t.Fatalf("tolerance = %d, want half the min gap (500)", tol)
+	}
+	if detectionTolerance(nil, 100) < 200 {
+		t.Fatal("floor")
+	}
+}
+
+func makePhases(lengths []int, phases []uint8) []trace.Access {
+	var out []trace.Access
+	for i, n := range lengths {
+		for j := 0; j < n; j++ {
+			out = append(out, trace.Access{Phase: phases[i], PC: uint64(phases[i])*0x1000 + uint64(j%4)*0x40})
+		}
+	}
+	return out
+}

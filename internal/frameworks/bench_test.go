@@ -1,0 +1,21 @@
+package frameworks
+
+import (
+	"testing"
+
+	"mpgraph/internal/graph"
+)
+
+func BenchmarkGPOPPageRankTrace(b *testing.B) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT(11, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{MaxIterations: 2, Seed: 1, PartitionSize: 256}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NewGPOP().Run(g, PR, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

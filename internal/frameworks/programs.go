@@ -1,0 +1,305 @@
+package frameworks
+
+import (
+	"fmt"
+	"math"
+
+	"mpgraph/internal/graph"
+)
+
+// vertexProgram captures the per-application semantics shared by all three
+// execution models. Frameworks drive it: they decide *how* to iterate
+// (partition-centric, edge-centric, GAS) and therefore which memory accesses
+// occur; the program decides *what* values flow.
+type vertexProgram interface {
+	init(g *graph.Graph)
+	// active reports whether v has an update to scatter this iteration.
+	active(v uint32) bool
+	// anyActive reports whether any vertex is active (frontier non-empty).
+	anyActive() bool
+	// propagate returns the value v sends along an edge of weight w.
+	propagate(v uint32, w float32) float64
+	// accumulate folds an incoming value into u's accumulator.
+	accumulate(u uint32, val float64)
+	// apply commits u's accumulator and reports whether u changed (and thus
+	// becomes active next iteration).
+	apply(u uint32) bool
+	// endIteration swaps frontiers; it returns true when the algorithm has
+	// converged and iteration may stop.
+	endIteration() bool
+	// output returns the per-vertex result vector.
+	output() []float64
+}
+
+func newProgram(app App, g *graph.Graph) (vertexProgram, error) {
+	var p vertexProgram
+	switch app {
+	case PR:
+		p = &pagerankProgram{}
+	case CC:
+		p = &ccProgram{}
+	case BFS:
+		p = &bfsProgram{}
+	case SSSP:
+		p = &ssspProgram{}
+	default:
+		return nil, fmt.Errorf("frameworks: app %q has no vertex program", app)
+	}
+	p.init(g)
+	return p, nil
+}
+
+// frontier is the shared active-set machinery.
+type frontier struct {
+	cur, next []bool
+	curCount  int
+	nextCount int
+}
+
+func (f *frontier) init(n int, allActive bool) {
+	f.cur = make([]bool, n)
+	f.next = make([]bool, n)
+	f.curCount = 0
+	if allActive {
+		for i := range f.cur {
+			f.cur[i] = true
+		}
+		f.curCount = n
+	}
+}
+
+func (f *frontier) activate(v uint32) {
+	if !f.next[v] {
+		f.next[v] = true
+		f.nextCount++
+	}
+}
+
+func (f *frontier) swap() {
+	f.cur, f.next = f.next, f.cur
+	f.curCount = f.nextCount
+	f.nextCount = 0
+	for i := range f.next {
+		f.next[i] = false
+	}
+}
+
+// pagerankProgram implements synchronous PageRank with damping 0.85. Every
+// vertex is active every iteration; convergence is total L1 rank movement.
+type pagerankProgram struct {
+	g       *graph.Graph
+	rank    []float64
+	acc     []float64
+	outDeg  []float64
+	delta   float64
+	epsilon float64
+}
+
+func (p *pagerankProgram) init(g *graph.Graph) {
+	n := g.NumVertices
+	p.g = g
+	p.rank = make([]float64, n)
+	p.acc = make([]float64, n)
+	p.outDeg = make([]float64, n)
+	p.epsilon = 1e-7
+	for v := 0; v < n; v++ {
+		p.rank[v] = 1.0 / float64(n)
+		d := g.OutDegree(uint32(v))
+		if d == 0 {
+			d = 1 // dangling vertices self-propagate
+		}
+		p.outDeg[v] = float64(d)
+	}
+}
+
+func (p *pagerankProgram) active(uint32) bool { return true }
+func (p *pagerankProgram) anyActive() bool    { return true }
+
+func (p *pagerankProgram) propagate(v uint32, _ float32) float64 {
+	return p.rank[v] / p.outDeg[v]
+}
+
+func (p *pagerankProgram) accumulate(u uint32, val float64) { p.acc[u] += val }
+
+func (p *pagerankProgram) apply(u uint32) bool {
+	n := float64(len(p.rank))
+	nr := 0.15/n + 0.85*p.acc[u]
+	p.delta += math.Abs(nr - p.rank[u])
+	changed := math.Abs(nr-p.rank[u]) > p.epsilon
+	p.rank[u] = nr
+	p.acc[u] = 0
+	return changed
+}
+
+func (p *pagerankProgram) endIteration() bool {
+	d := p.delta
+	p.delta = 0
+	return d < p.epsilon*float64(len(p.rank))
+}
+
+func (p *pagerankProgram) output() []float64 { return p.rank }
+
+// ccProgram is connected components by min-label propagation (directed
+// edges treated as undirected by frameworks that materialise both
+// adjacencies; label flows follow the framework's traversal direction).
+type ccProgram struct {
+	label []float64
+	acc   []float64
+	fr    frontier
+}
+
+func (p *ccProgram) init(g *graph.Graph) {
+	n := g.NumVertices
+	p.label = make([]float64, n)
+	p.acc = make([]float64, n)
+	for v := 0; v < n; v++ {
+		p.label[v] = float64(v)
+		p.acc[v] = math.Inf(1)
+	}
+	p.fr.init(n, true)
+}
+
+func (p *ccProgram) active(v uint32) bool { return p.fr.cur[v] }
+func (p *ccProgram) anyActive() bool      { return p.fr.curCount > 0 }
+
+func (p *ccProgram) propagate(v uint32, _ float32) float64 { return p.label[v] }
+
+func (p *ccProgram) accumulate(u uint32, val float64) {
+	if val < p.acc[u] {
+		p.acc[u] = val
+	}
+}
+
+func (p *ccProgram) apply(u uint32) bool {
+	changed := false
+	if p.acc[u] < p.label[u] {
+		p.label[u] = p.acc[u]
+		changed = true
+		p.fr.activate(u)
+	}
+	p.acc[u] = math.Inf(1)
+	return changed
+}
+
+func (p *ccProgram) endIteration() bool {
+	p.fr.swap()
+	return p.fr.curCount == 0
+}
+
+func (p *ccProgram) output() []float64 { return p.label }
+
+// bfsProgram computes hop distance from a deterministic high-degree source.
+type bfsProgram struct {
+	level []float64
+	acc   []float64
+	fr    frontier
+	depth float64
+}
+
+// pickSource returns the highest out-degree vertex, a deterministic choice
+// that reaches a large component.
+func pickSource(g *graph.Graph) uint32 {
+	best, bestDeg := uint32(0), -1
+	for v := 0; v < g.NumVertices; v++ {
+		if d := g.OutDegree(uint32(v)); d > bestDeg {
+			best, bestDeg = uint32(v), d
+		}
+	}
+	return best
+}
+
+func (p *bfsProgram) init(g *graph.Graph) {
+	n := g.NumVertices
+	p.level = make([]float64, n)
+	p.acc = make([]float64, n)
+	for v := 0; v < n; v++ {
+		p.level[v] = -1
+		p.acc[v] = math.Inf(1)
+	}
+	src := pickSource(g)
+	p.level[src] = 0
+	p.fr.init(n, false)
+	p.fr.cur[src] = true
+	p.fr.curCount = 1
+}
+
+func (p *bfsProgram) active(v uint32) bool { return p.fr.cur[v] }
+func (p *bfsProgram) anyActive() bool      { return p.fr.curCount > 0 }
+
+func (p *bfsProgram) propagate(v uint32, _ float32) float64 { return p.level[v] + 1 }
+
+func (p *bfsProgram) accumulate(u uint32, val float64) {
+	if val < p.acc[u] {
+		p.acc[u] = val
+	}
+}
+
+func (p *bfsProgram) apply(u uint32) bool {
+	changed := false
+	if !math.IsInf(p.acc[u], 1) && p.level[u] < 0 {
+		p.level[u] = p.acc[u]
+		changed = true
+		p.fr.activate(u)
+	}
+	p.acc[u] = math.Inf(1)
+	return changed
+}
+
+func (p *bfsProgram) endIteration() bool {
+	p.fr.swap()
+	return p.fr.curCount == 0
+}
+
+func (p *bfsProgram) output() []float64 { return p.level }
+
+// ssspProgram is Bellman-Ford single-source shortest paths with edge
+// weights, from the same deterministic source as BFS.
+type ssspProgram struct {
+	dist []float64
+	acc  []float64
+	fr   frontier
+}
+
+func (p *ssspProgram) init(g *graph.Graph) {
+	n := g.NumVertices
+	p.dist = make([]float64, n)
+	p.acc = make([]float64, n)
+	for v := 0; v < n; v++ {
+		p.dist[v] = math.Inf(1)
+		p.acc[v] = math.Inf(1)
+	}
+	src := pickSource(g)
+	p.dist[src] = 0
+	p.fr.init(n, false)
+	p.fr.cur[src] = true
+	p.fr.curCount = 1
+}
+
+func (p *ssspProgram) active(v uint32) bool { return p.fr.cur[v] }
+func (p *ssspProgram) anyActive() bool      { return p.fr.curCount > 0 }
+
+func (p *ssspProgram) propagate(v uint32, w float32) float64 { return p.dist[v] + float64(w) }
+
+func (p *ssspProgram) accumulate(u uint32, val float64) {
+	if val < p.acc[u] {
+		p.acc[u] = val
+	}
+}
+
+func (p *ssspProgram) apply(u uint32) bool {
+	changed := false
+	if p.acc[u] < p.dist[u] {
+		p.dist[u] = p.acc[u]
+		changed = true
+		p.fr.activate(u)
+	}
+	p.acc[u] = math.Inf(1)
+	return changed
+}
+
+func (p *ssspProgram) endIteration() bool {
+	p.fr.swap()
+	return p.fr.curCount == 0
+}
+
+func (p *ssspProgram) output() []float64 { return p.dist }

@@ -1,0 +1,30 @@
+package graph
+
+import "testing"
+
+func BenchmarkRMATScale12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateRMAT(DefaultRMAT(12, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	g, err := GenerateRMAT(DefaultRMAT(12, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := uint32(0); int(v) < g.NumVertices; v++ {
+		for _, u := range g.OutNeighbors(v) {
+			edges = append(edges, Edge{Src: v, Dst: u, Weight: 1})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(g.NumVertices, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

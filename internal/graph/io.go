@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph's out-edges as whitespace-separated
+// "src dst weight" lines, the SNAP text format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := uint32(0); int(v) < g.NumVertices; v++ {
+		nbrs := g.OutNeighbors(v)
+		ws := g.OutWeightsOf(v)
+		for i, d := range nbrs {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", v, d, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses SNAP-style edge lists: lines of "src dst [weight]",
+// with '#' comment lines ignored. numVertices, when 0, is inferred as
+// max(id)+1.
+func ReadEdgeList(r io.Reader, numVertices int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := uint32(0)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", line, err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", line, err)
+			}
+			w = float32(wf)
+		}
+		e := Edge{Src: uint32(src), Dst: uint32(dst), Weight: w}
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numVertices == 0 {
+		numVertices = int(maxID) + 1
+	}
+	return FromEdges(numVertices, edges)
+}
+
+const binMagic = 0x4d504752 // "MPGR"
+
+// WriteBinary serialises the CSR structure in a compact little-endian
+// binary format (fast reload for repeated experiment runs).
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binMagic, uint64(g.NumVertices), uint64(len(g.OutEdges))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]uint64{g.OutIndex, g.InIndex} {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]uint32{g.OutEdges, g.InEdges} {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]float32{g.OutWeights, g.InWeights} {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserialises a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, nv, ne uint64
+	for _, p := range []*uint64{&magic, &nv, &ne} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if nv > 1<<31 || ne > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible header nv=%d ne=%d", nv, ne)
+	}
+	g := &Graph{
+		NumVertices: int(nv),
+		OutIndex:    make([]uint64, nv+1),
+		InIndex:     make([]uint64, nv+1),
+		OutEdges:    make([]uint32, ne),
+		InEdges:     make([]uint32, ne),
+		OutWeights:  make([]float32, ne),
+		InWeights:   make([]float32, ne),
+	}
+	for _, s := range [][]uint64{g.OutIndex, g.InIndex} {
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range [][]uint32{g.OutEdges, g.InEdges} {
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range [][]float32{g.OutWeights, g.InWeights} {
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RMATConfig parameterises the recursive matrix (R-MAT) generator of
+// Chakrabarti, Zhan & Faloutsos (SDM 2004). Scale is log2 of the vertex
+// count; EdgeFactor is edges per vertex; A,B,C,D are the quadrant
+// probabilities (must sum to ~1).
+type RMATConfig struct {
+	Scale      int
+	EdgeFactor int
+	A, B, C, D float64
+	Seed       int64
+	// Noise perturbs the quadrant probabilities per recursion level, the
+	// standard trick that avoids degenerate staircase degree sequences.
+	Noise float64
+}
+
+// DefaultRMAT mirrors the Graph500 parameters used by the paper's synthetic
+// "rmat" dataset (1M vertices / 16M edges in the paper, scaled here).
+func DefaultRMAT(scale int, seed int64) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Seed: seed, Noise: 0.1}
+}
+
+// GenerateRMAT produces a directed R-MAT graph.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) {
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		return nil, fmt.Errorf("graph: rmat scale %d out of range [1,30]", cfg.Scale)
+	}
+	sum := cfg.A + cfg.B + cfg.C + cfg.D
+	if sum < 0.99 || sum > 1.01 {
+		return nil, fmt.Errorf("graph: rmat probabilities sum to %.3f, want 1", sum)
+	}
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src, dst := rmatEdge(rng, cfg)
+		if src == dst {
+			continue
+		}
+		edges = append(edges, Edge{Src: src, Dst: dst, Weight: 1 + rng.Float32()*9})
+	}
+	return FromEdges(n, edges)
+}
+
+func rmatEdge(rng *rand.Rand, cfg RMATConfig) (uint32, uint32) {
+	var src, dst uint32
+	a, b, c := cfg.A, cfg.B, cfg.C
+	for level := 0; level < cfg.Scale; level++ {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// top-left: no bits set
+		case r < a+b:
+			dst |= 1 << level
+		case r < a+b+c:
+			src |= 1 << level
+		default:
+			src |= 1 << level
+			dst |= 1 << level
+		}
+		if cfg.Noise > 0 {
+			// Multiplicative noise, renormalised.
+			na := a * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+			nb := b * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+			nc := c * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+			nd := cfg.D * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+			s := na + nb + nc + nd
+			a, b, c = na/s, nb/s, nc/s
+		}
+	}
+	return src, dst
+}

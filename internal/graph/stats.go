@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarises the structural properties that matter for prefetcher
+// behaviour: degree skew (drives wide page jumps) and edge locality (drives
+// within-page spatial hits).
+type Stats struct {
+	NumVertices   int
+	NumEdges      int
+	MaxOutDegree  int
+	MeanOutDegree float64
+	// GiniOutDegree in [0,1]; ~0 for road networks, >0.5 for heavy-tail
+	// power-law graphs.
+	GiniOutDegree float64
+	// LocalEdgeFraction is the fraction of edges whose endpoints are within
+	// 256 ids of each other (a page-of-vertex-values worth of distance).
+	LocalEdgeFraction float64
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{NumVertices: g.NumVertices, NumEdges: g.NumEdges()}
+	if g.NumVertices == 0 {
+		return s
+	}
+	degrees := make([]int, g.NumVertices)
+	sum := 0
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.OutDegree(uint32(v))
+		degrees[v] = d
+		sum += d
+		if d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+	}
+	s.MeanOutDegree = float64(sum) / float64(g.NumVertices)
+	s.GiniOutDegree = gini(degrees)
+	local := 0
+	for v := uint32(0); int(v) < g.NumVertices; v++ {
+		for _, d := range g.OutNeighbors(v) {
+			if math.Abs(float64(int64(v)-int64(d))) <= 256 {
+				local++
+			}
+		}
+	}
+	if s.NumEdges > 0 {
+		s.LocalEdgeFraction = float64(local) / float64(s.NumEdges)
+	}
+	return s
+}
+
+func gini(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	sort.Ints(sorted)
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += float64(x)
+		weighted += float64(x) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*weighted - (n+1)*cum) / (n * cum)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("V=%d E=%d maxDeg=%d meanDeg=%.2f gini=%.3f local=%.3f",
+		s.NumVertices, s.NumEdges, s.MaxOutDegree, s.MeanOutDegree, s.GiniOutDegree, s.LocalEdgeFraction)
+}

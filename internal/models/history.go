@@ -1,0 +1,61 @@
+package models
+
+// History is the online inference window a prefetcher maintains: the last T
+// (block, PC) pairs in program order. It produces label-free Samples for
+// model inference.
+type History struct {
+	T      int
+	blocks []uint64
+	pcs    []uint64
+	count  int
+}
+
+// NewHistory builds a window of length T.
+func NewHistory(T int) *History {
+	return &History{T: T, blocks: make([]uint64, T), pcs: make([]uint64, T)}
+}
+
+// Push appends the newest access, evicting the oldest.
+func (h *History) Push(block, pc uint64) {
+	copy(h.blocks, h.blocks[1:])
+	copy(h.pcs, h.pcs[1:])
+	h.blocks[h.T-1] = block
+	h.pcs[h.T-1] = pc
+	if h.count < h.T {
+		h.count++
+	}
+}
+
+// Warm reports whether the window is fully populated.
+func (h *History) Warm() bool { return h.count >= h.T }
+
+// Sample snapshots the window as an inference sample with the given phase
+// label (labels are absent: inference only).
+func (h *History) Sample(phase int) *Sample {
+	blocks := make([]uint64, h.T)
+	pcs := make([]uint64, h.T)
+	copy(blocks, h.blocks)
+	copy(pcs, h.pcs)
+	return &Sample{Blocks: blocks, PCs: pcs, Phase: phase}
+}
+
+// SampleWithTail snapshots the window shifted by one with (block, pc)
+// appended — the pseudo-window CSTP uses to continue a chain from a
+// predicted page's PBOT entry.
+func (h *History) SampleWithTail(phase int, block, pc uint64) *Sample {
+	blocks := make([]uint64, h.T)
+	pcs := make([]uint64, h.T)
+	copy(blocks, h.blocks[1:])
+	copy(pcs, h.pcs[1:])
+	blocks[h.T-1] = block
+	pcs[h.T-1] = pc
+	return &Sample{Blocks: blocks, PCs: pcs, Phase: phase}
+}
+
+// Reset clears the window.
+func (h *History) Reset() {
+	h.count = 0
+	for i := range h.blocks {
+		h.blocks[i], h.pcs[i] = 0, 0
+	}
+}

@@ -1,0 +1,183 @@
+package models
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mpgraph/internal/nn"
+)
+
+const snapMagic = 0x4d505346 // "MPSF"
+
+// PrefetcherModels is the deployable artifact of offline training (Fig. 6's
+// "deploy" arrow): the configuration, the tokenizers, and the per-phase
+// spatial and temporal predictors that the MPGraph controller switches
+// between.
+type PrefetcherModels struct {
+	Cfg    Config
+	Pages  *Vocab
+	PCs    *Vocab
+	Deltas []*AMMADelta
+	PageMs []*AMMAPage
+}
+
+// NumPhases reports the phase count the models were trained for.
+func (pm *PrefetcherModels) NumPhases() int { return len(pm.Deltas) }
+
+// TrainPrefetcherModels trains phase-specific AMMA predictors on ds.
+func TrainPrefetcherModels(ds *Dataset, phases int, opt TrainOptions) (*PrefetcherModels, error) {
+	if phases < 1 {
+		return nil, fmt.Errorf("models: need at least one phase")
+	}
+	pm := &PrefetcherModels{Cfg: ds.Cfg, Pages: ds.Pages, PCs: ds.PCs}
+	for p := 0; p < phases; p++ {
+		sub := ds.FilterPhase(p)
+		if len(sub.Samples) == 0 {
+			sub = ds
+		}
+		delta := NewAMMADelta(ds.Cfg, ds.PCs, 0, ds.Cfg.Seed+int64(p)*97)
+		if err := TrainDelta(delta, sub, opt); err != nil {
+			return nil, err
+		}
+		page := NewAMMAPage(ds.Cfg, ds.Pages, ds.PCs, 0, ds.Cfg.Seed+int64(p)*89)
+		if err := TrainPage(page, sub, opt); err != nil {
+			return nil, err
+		}
+		pm.Deltas = append(pm.Deltas, delta)
+		pm.PageMs = append(pm.PageMs, page)
+	}
+	return pm, nil
+}
+
+// DeltaModels returns the per-phase spatial predictors as interfaces.
+func (pm *PrefetcherModels) DeltaModels() []DeltaModel {
+	out := make([]DeltaModel, len(pm.Deltas))
+	for i, m := range pm.Deltas {
+		out[i] = m
+	}
+	return out
+}
+
+// PageModels returns the per-phase temporal predictors as interfaces.
+func (pm *PrefetcherModels) PageModels() []PageModel {
+	out := make([]PageModel, len(pm.PageMs))
+	for i, m := range pm.PageMs {
+		out[i] = m
+	}
+	return out
+}
+
+// Save serialises the artifact.
+func (pm *PrefetcherModels) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cfg := pm.Cfg
+	hdr := []uint64{
+		snapMagic, uint64(len(pm.Deltas)),
+		uint64(cfg.HistoryT), uint64(cfg.LookForwardF), uint64(cfg.AttnDim),
+		uint64(cfg.FusionDim), uint64(cfg.TransLayers), uint64(cfg.Heads),
+		uint64(cfg.NumSegments), uint64(cfg.SegmentBits), uint64(cfg.DeltaRange),
+		uint64(cfg.PageVocab), uint64(cfg.PCVocab), uint64(cfg.LSTMHidden),
+		uint64(cfg.Seed),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, v := range []*Vocab{pm.Pages, pm.PCs} {
+		if err := saveVocab(bw, v); err != nil {
+			return err
+		}
+	}
+	for i := range pm.Deltas {
+		if err := nn.Save(bw, pm.Deltas[i]); err != nil {
+			return err
+		}
+		if err := nn.Save(bw, pm.PageMs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadPrefetcherModels reconstructs a saved artifact.
+func LoadPrefetcherModels(r io.Reader) (*PrefetcherModels, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]uint64, 15)
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != snapMagic {
+		return nil, fmt.Errorf("models: bad snapshot magic %#x", hdr[0])
+	}
+	phases := int(hdr[1])
+	if phases < 1 || phases > 64 {
+		return nil, fmt.Errorf("models: implausible phase count %d", phases)
+	}
+	cfg := Config{
+		HistoryT: int(hdr[2]), LookForwardF: int(hdr[3]), AttnDim: int(hdr[4]),
+		FusionDim: int(hdr[5]), TransLayers: int(hdr[6]), Heads: int(hdr[7]),
+		NumSegments: int(hdr[8]), SegmentBits: int(hdr[9]), DeltaRange: int(hdr[10]),
+		PageVocab: int(hdr[11]), PCVocab: int(hdr[12]), LSTMHidden: int(hdr[13]),
+		Seed: int64(hdr[14]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pm := &PrefetcherModels{Cfg: cfg}
+	var err error
+	if pm.Pages, err = loadVocab(br); err != nil {
+		return nil, err
+	}
+	if pm.PCs, err = loadVocab(br); err != nil {
+		return nil, err
+	}
+	for p := 0; p < phases; p++ {
+		delta := NewAMMADelta(cfg, pm.PCs, 0, cfg.Seed)
+		if err := nn.Load(br, delta); err != nil {
+			return nil, fmt.Errorf("models: phase %d delta: %w", p, err)
+		}
+		page := NewAMMAPage(cfg, pm.Pages, pm.PCs, 0, cfg.Seed)
+		if err := nn.Load(br, page); err != nil {
+			return nil, fmt.Errorf("models: phase %d page: %w", p, err)
+		}
+		pm.Deltas = append(pm.Deltas, delta)
+		pm.PageMs = append(pm.PageMs, page)
+	}
+	return pm, nil
+}
+
+func saveVocab(w io.Writer, v *Vocab) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(v.cap)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(v.values))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, v.values)
+}
+
+func loadVocab(r io.Reader) (*Vocab, error) {
+	var capacity, n uint64
+	if err := binary.Read(r, binary.LittleEndian, &capacity); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > capacity || capacity > 1<<24 {
+		return nil, fmt.Errorf("models: implausible vocab header cap=%d n=%d", capacity, n)
+	}
+	v := &Vocab{cap: int(capacity), tokens: make(map[uint64]int), values: make([]uint64, n)}
+	if err := binary.Read(r, binary.LittleEndian, v.values); err != nil {
+		return nil, err
+	}
+	for tok := 1; tok < len(v.values); tok++ {
+		v.tokens[v.values[tok]] = tok
+	}
+	return v, nil
+}

@@ -1,0 +1,40 @@
+// Package nn builds the neural-network layer zoo used by the paper's models
+// on top of the tensor autograd engine: Linear, Embedding, LayerNorm,
+// scaled-dot-product self-attention, multi-head attention, the Transformer
+// layer (MSA + FFN, Eq. 9-10), the multi-modality attention fusion layer
+// (Eq. 8), and an LSTM for the baselines — plus the Adam optimizer,
+// parameter (de)serialisation, and int8 quantization (Section 6.1).
+package nn
+
+import "mpgraph/internal/tensor"
+
+// Module is anything owning trainable parameters.
+type Module interface {
+	// Params returns the trainable tensors in a stable order.
+	Params() []*tensor.Tensor
+}
+
+// CountParams sums the element counts of all parameters.
+func CountParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// ZeroGrads clears gradients of all parameters.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// collect concatenates parameter lists of sub-modules.
+func collect(ms ...Module) []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, m := range ms {
+		out = append(out, m.Params()...)
+	}
+	return out
+}

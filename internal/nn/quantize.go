@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizationReport summarises a (simulated) fixed-point quantization pass.
+type QuantizationReport struct {
+	Bits         int
+	Params       int
+	StorageBytes int     // parameter storage at the quantized width
+	MaxError     float64 // worst absolute rounding error introduced
+	MeanError    float64
+}
+
+// Quantize rounds every parameter of m to a bits-wide symmetric fixed-point
+// grid (per-tensor scale), in place — the standard simulated-quantization
+// treatment of Section 6.1 ("representing the weights in the models using 8
+// bits"). It returns the storage/error report.
+func Quantize(m Module, bits int) (QuantizationReport, error) {
+	if bits < 2 || bits > 16 {
+		return QuantizationReport{}, fmt.Errorf("nn: quantize bits %d out of [2,16]", bits)
+	}
+	rep := QuantizationReport{Bits: bits}
+	levels := float64(int(1)<<(bits-1)) - 1
+	var errSum float64
+	for _, p := range m.Params() {
+		rep.Params += len(p.Data)
+		scale := p.MaxAbs() / levels
+		if scale == 0 {
+			continue
+		}
+		for i, v := range p.Data {
+			q := math.Round(v/scale) * scale
+			e := math.Abs(q - v)
+			if e > rep.MaxError {
+				rep.MaxError = e
+			}
+			errSum += e
+			p.Data[i] = q
+		}
+	}
+	if rep.Params > 0 {
+		rep.MeanError = errSum / float64(rep.Params)
+	}
+	rep.StorageBytes = (rep.Params*bits + 7) / 8
+	return rep, nil
+}
+
+// StorageBytes reports the parameter storage of m at the given bit width
+// without modifying the model.
+func StorageBytes(m Module, bits int) int {
+	return (CountParams(m)*bits + 7) / 8
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const paramMagic = 0x4d504e4e // "MPNN"
+
+// Save serialises a module's parameters (shape-checked on Load).
+func Save(w io.Writer, m Module) error {
+	bw := bufio.NewWriter(w)
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint64(paramMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, [2]uint64{uint64(p.Rows), uint64(p.Cols)}); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load fills a structurally-identical module's parameters from r.
+func Load(r io.Reader, m Module) error {
+	br := bufio.NewReader(r)
+	var magic, count uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != paramMagic {
+		return fmt.Errorf("nn: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d params, module has %d", count, len(params))
+	}
+	for i, p := range params {
+		var shape [2]uint64
+		if err := binary.Read(br, binary.LittleEndian, &shape); err != nil {
+			return err
+		}
+		if int(shape[0]) != p.Rows || int(shape[1]) != p.Cols {
+			return fmt.Errorf("nn: param %d shape %dx%d, snapshot %dx%d", i, p.Rows, p.Cols, shape[0], shape[1])
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CopyParams copies src's parameter values into dst (shapes must match).
+func CopyParams(dst, src Module) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("nn: param count mismatch %d vs %d", len(dp), len(sp))
+	}
+	for i := range dp {
+		if dp[i].Rows != sp[i].Rows || dp[i].Cols != sp[i].Cols {
+			return fmt.Errorf("nn: param %d shape mismatch", i)
+		}
+		copy(dp[i].Data, sp[i].Data)
+	}
+	return nil
+}

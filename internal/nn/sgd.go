@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+
+	"mpgraph/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// weight decay — the ablation optimizer next to Adam.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*tensor.Tensor][]float64
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*tensor.Tensor][]float64{}}
+}
+
+// Step applies one update to all parameters with gradients.
+func (s *SGD) Step(params []*tensor.Tensor) {
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok && s.Momentum != 0 {
+			v = make([]float64, len(p.Data))
+			s.velocity[p] = v
+		}
+		for i, g := range p.Grad {
+			if s.WeightDecay != 0 {
+				g += s.WeightDecay * p.Data[i]
+			}
+			if s.Momentum != 0 {
+				v[i] = s.Momentum*v[i] + g
+				g = v[i]
+			}
+			p.Data[i] -= s.LR * g
+		}
+	}
+}
+
+// Schedule maps a step index to a learning-rate multiplier.
+type Schedule interface {
+	// Factor returns the LR multiplier for step (0-based).
+	Factor(step int) float64
+}
+
+// StepSchedule multiplies the LR by Gamma every Every steps.
+type StepSchedule struct {
+	Every int
+	Gamma float64
+}
+
+// Factor implements Schedule.
+func (s StepSchedule) Factor(step int) float64 {
+	if s.Every <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// CosineSchedule anneals the LR from 1 to Floor over Total steps.
+type CosineSchedule struct {
+	Total int
+	Floor float64
+}
+
+// Factor implements Schedule.
+func (s CosineSchedule) Factor(step int) float64 {
+	if s.Total <= 0 {
+		return 1
+	}
+	if step >= s.Total {
+		return s.Floor
+	}
+	cos := 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(s.Total)))
+	return s.Floor + (1-s.Floor)*cos
+}
+
+// ScheduledLR wraps a base learning rate with a schedule, for use as
+//
+//	opt.LR = sched.At(step)
+type ScheduledLR struct {
+	Base     float64
+	Schedule Schedule
+}
+
+// At returns the learning rate for step.
+func (s ScheduledLR) At(step int) float64 {
+	if s.Schedule == nil {
+		return s.Base
+	}
+	return s.Base * s.Schedule.Factor(step)
+}

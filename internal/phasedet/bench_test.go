@@ -1,0 +1,56 @@
+package phasedet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStream(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		pool := 0x400000 + uint64(rng.Intn(5))*0x40
+		if (i/5000)%2 == 1 {
+			pool = 0x500000 + uint64(rng.Intn(5))*0x40
+		}
+		xs[i] = float64(pool)
+	}
+	return xs
+}
+
+func BenchmarkKSWIN(b *testing.B) {
+	xs := benchStream(20_000)
+	b.SetBytes(int64(len(xs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewKSWIN(KSWINConfig{Seed: 1})
+		for _, x := range xs {
+			det.Observe(x)
+		}
+	}
+}
+
+func BenchmarkSoftKSWIN(b *testing.B) {
+	xs := benchStream(20_000)
+	b.SetBytes(int64(len(xs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewSoftKSWIN(KSWINConfig{Seed: 1})
+		for _, x := range xs {
+			det.Observe(x)
+		}
+	}
+}
+
+func BenchmarkKSStatistic(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 30)
+	y := make([]float64, 30)
+	for i := range x {
+		x[i], y[i] = rng.Float64(), rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KSStatistic(x, y)
+	}
+}

@@ -1,0 +1,348 @@
+package phasedet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DecisionTree is a CART classifier (gini impurity, axis-aligned splits)
+// used for supervised phase classification from PC-window features.
+type DecisionTree struct {
+	MaxDepth       int
+	MinSamplesLeaf int
+	root           *dtNode
+	numFeatures    int
+}
+
+type dtNode struct {
+	feature     int
+	threshold   float64
+	left, right *dtNode
+	leafClass   int
+	isLeaf      bool
+}
+
+// NewDecisionTree builds an untrained tree with the given limits.
+func NewDecisionTree(maxDepth, minSamplesLeaf int) *DecisionTree {
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	if minSamplesLeaf <= 0 {
+		minSamplesLeaf = 4
+	}
+	return &DecisionTree{MaxDepth: maxDepth, MinSamplesLeaf: minSamplesLeaf}
+}
+
+// Fit trains on feature rows X with integer labels y.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("phasedet: fit needs matching non-empty X,y (%d,%d)", len(X), len(y))
+	}
+	t.numFeatures = len(X[0])
+	for i, row := range X {
+		if len(row) != t.numFeatures {
+			return fmt.Errorf("phasedet: row %d has %d features, want %d", i, len(row), t.numFeatures)
+		}
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, 0)
+	return nil
+}
+
+func (t *DecisionTree) build(X [][]float64, y []int, idx []int, depth int) *dtNode {
+	counts := map[int]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	majority, best := 0, -1
+	for cls, n := range counts {
+		if n > best || (n == best && cls < majority) {
+			majority, best = cls, n
+		}
+	}
+	if depth >= t.MaxDepth || len(counts) == 1 || len(idx) < 2*t.MinSamplesLeaf {
+		return &dtNode{isLeaf: true, leafClass: majority}
+	}
+	feat, thr, gain := t.bestSplit(X, y, idx)
+	if gain <= 0 {
+		return &dtNode{isLeaf: true, leafClass: majority}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < t.MinSamplesLeaf || len(ri) < t.MinSamplesLeaf {
+		return &dtNode{isLeaf: true, leafClass: majority}
+	}
+	return &dtNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.build(X, y, li, depth+1),
+		right:     t.build(X, y, ri, depth+1),
+	}
+}
+
+func gini(counts map[int]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, n := range counts {
+		p := float64(n) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, idx []int) (feat int, thr, gain float64) {
+	parent := map[int]int{}
+	for _, i := range idx {
+		parent[y[i]]++
+	}
+	parentGini := gini(parent, len(idx))
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < t.numFeatures; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints between consecutive *distinct*
+		// values (features often take few values in long runs), subsampled
+		// to bound cost.
+		distinct := vals[:0]
+		for k, v := range vals {
+			if k == 0 || v != distinct[len(distinct)-1] {
+				distinct = append(distinct, v)
+			}
+		}
+		step := len(distinct)/32 + 1
+		for k := step; k < len(distinct); k += step {
+			cand := (distinct[k] + distinct[k-1]) / 2
+			lc, rc := map[int]int{}, map[int]int{}
+			ln := 0
+			for _, i := range idx {
+				if X[i][f] <= cand {
+					lc[y[i]]++
+					ln++
+				} else {
+					rc[y[i]]++
+				}
+			}
+			rn := len(idx) - ln
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			w := parentGini -
+				(float64(ln)*gini(lc, ln)+float64(rn)*gini(rc, rn))/float64(len(idx))
+			if w > bestGain {
+				bestGain, bestFeat, bestThr = w, f, cand
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// Predict classifies one feature row.
+func (t *DecisionTree) Predict(x []float64) int {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafClass
+}
+
+// Depth reports the trained tree's depth (tests).
+func (t *DecisionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *dtNode) int {
+	if n == nil || n.isLeaf {
+		return 0
+	}
+	return 1 + int(math.Max(float64(depthOf(n.left)), float64(depthOf(n.right))))
+}
+
+// --- PC-window featurisation shared by the DT detectors ---
+
+// PCFeaturizer turns the most recent window of PCs into a bucket-histogram
+// feature vector. PCs cluster by phase (Fig. 2b), so bucket frequencies are
+// a near-perfect phase signature.
+type PCFeaturizer struct {
+	Window  int
+	Buckets int
+	recent  []float64
+}
+
+// NewPCFeaturizer builds a featurizer with the given window and bucket count.
+func NewPCFeaturizer(window, buckets int) *PCFeaturizer {
+	if window <= 0 {
+		window = 64
+	}
+	if buckets <= 0 {
+		buckets = 16
+	}
+	return &PCFeaturizer{Window: window, Buckets: buckets}
+}
+
+// Push adds a PC observation; it reports whether the window is warm.
+func (f *PCFeaturizer) Push(x float64) bool {
+	if len(f.recent) < f.Window {
+		f.recent = append(f.recent, x)
+	} else {
+		copy(f.recent, f.recent[1:])
+		f.recent[f.Window-1] = x
+	}
+	return len(f.recent) == f.Window
+}
+
+// Features returns the normalised bucket histogram of the current window.
+func (f *PCFeaturizer) Features() []float64 {
+	out := make([]float64, f.Buckets)
+	if len(f.recent) == 0 {
+		return out
+	}
+	for _, x := range f.recent {
+		out[f.bucket(x)]++
+	}
+	for i := range out {
+		out[i] /= float64(len(f.recent))
+	}
+	return out
+}
+
+func (f *PCFeaturizer) bucket(x float64) int {
+	// PCs are code addresses with 0x40 spacing (low bits constant); a
+	// multiplicative hash followed by folding the high bits down spreads
+	// them across buckets.
+	u := uint64(x)
+	u ^= u >> 17
+	u *= 0x9e3779b97f4a7c15
+	u ^= u >> 33
+	return int(u % uint64(f.Buckets))
+}
+
+// Reset clears the window.
+func (f *PCFeaturizer) Reset() { f.recent = f.recent[:0] }
+
+// DTDetector predicts the current phase with a trained decision tree every
+// observation and fires on any change between consecutive predictions —
+// the hard supervised baseline of Section 4.2.2.
+type DTDetector struct {
+	Tree *DecisionTree
+	Feat *PCFeaturizer
+	last int
+	warm bool
+}
+
+// NewDTDetector wraps a trained tree.
+func NewDTDetector(tree *DecisionTree, window, buckets int) *DTDetector {
+	return &DTDetector{Tree: tree, Feat: NewPCFeaturizer(window, buckets)}
+}
+
+// Name implements Detector.
+func (d *DTDetector) Name() string { return "dt" }
+
+// Reset implements Detector.
+func (d *DTDetector) Reset() { d.Feat.Reset(); d.warm = false; d.last = 0 }
+
+// Observe implements Detector.
+func (d *DTDetector) Observe(x float64) bool {
+	if !d.Feat.Push(x) {
+		return false
+	}
+	pred := d.Tree.Predict(d.Feat.Features())
+	if !d.warm {
+		d.warm = true
+		d.last = pred
+		return false
+	}
+	if pred != d.last {
+		d.last = pred
+		return true
+	}
+	return false
+}
+
+// SoftDTDetector stores recent phase inferences in a queue and compares the
+// modes of its head and tail halves, firing only when the two modes differ —
+// Section 4.2.2's soft supervised detector.
+type SoftDTDetector struct {
+	Tree      *DecisionTree
+	Feat      *PCFeaturizer
+	QueueSize int
+	queue     []int
+	inDiff    bool
+}
+
+// NewSoftDTDetector wraps a trained tree with a soft result queue.
+func NewSoftDTDetector(tree *DecisionTree, window, buckets, queueSize int) *SoftDTDetector {
+	if queueSize <= 0 {
+		queueSize = 40
+	}
+	return &SoftDTDetector{Tree: tree, Feat: NewPCFeaturizer(window, buckets), QueueSize: queueSize}
+}
+
+// Name implements Detector.
+func (d *SoftDTDetector) Name() string { return "soft-dt" }
+
+// Reset implements Detector.
+func (d *SoftDTDetector) Reset() {
+	d.Feat.Reset()
+	d.queue = d.queue[:0]
+	d.inDiff = false
+}
+
+// Observe implements Detector.
+func (d *SoftDTDetector) Observe(x float64) bool {
+	if !d.Feat.Push(x) {
+		return false
+	}
+	pred := d.Tree.Predict(d.Feat.Features())
+	if len(d.queue) < d.QueueSize {
+		d.queue = append(d.queue, pred)
+		return false
+	}
+	copy(d.queue, d.queue[1:])
+	d.queue[d.QueueSize-1] = pred
+	half := d.QueueSize / 2
+	headMode := mode(d.queue[:half])
+	tailMode := mode(d.queue[half:])
+	if headMode != tailMode {
+		if !d.inDiff {
+			d.inDiff = true
+			return true
+		}
+		return false
+	}
+	d.inDiff = false
+	return false
+}
+
+func mode(xs []int) int {
+	counts := map[int]int{}
+	best, bestN := 0, -1
+	for _, x := range xs {
+		counts[x]++
+		if counts[x] > bestN || (counts[x] == bestN && x < best) {
+			best, bestN = x, counts[x]
+		}
+	}
+	return best
+}

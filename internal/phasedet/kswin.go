@@ -1,0 +1,235 @@
+// Package phasedet implements the paper's phase-transition detectors:
+// the unsupervised KSWIN baseline and its Soft-KSWIN variant (Algorithm 2)
+// for the phase-label-inaccessible scenario, and a CART decision tree plus
+// its Soft-DT variant for the label-accessible scenario, together with the
+// precision/recall/F1 scoring of Table 4.
+package phasedet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Detector consumes a PC stream one observation at a time and reports phase
+// transitions.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Observe consumes the next program counter (as a real-valued sample)
+	// and reports whether a phase transition is declared at this point.
+	Observe(x float64) bool
+	// Reset returns the detector to its initial state.
+	Reset()
+}
+
+// KSStatistic computes the two-sample Kolmogorov-Smirnov statistic
+// D = sup |F_a(x) - F_b(x)| between the empirical CDFs of a and b (Eq. 2).
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(as) && j < len(bs) {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSThreshold is the rejection threshold of Eq. 5 for significance level
+// alpha with equal-size windows of r samples.
+func KSThreshold(alpha float64, r int) float64 {
+	return math.Sqrt(-math.Log(alpha/2) / float64(r))
+}
+
+// KSWINConfig parameterises KSWIN and Soft-KSWIN.
+type KSWINConfig struct {
+	// Alpha is the K-S significance level (paper notes high sensitivity;
+	// default 1e-4 per the KSWIN reference implementation).
+	Alpha float64
+	// WindowSize w is the sliding-window length (default 300).
+	WindowSize int
+	// RecentSize r is the recent-sample window length (default 30).
+	RecentSize int
+	// SoftThreshold th_r is Soft-KSWIN's required detection ratio
+	// (default 0.5, Algorithm 2).
+	SoftThreshold float64
+	// Seed drives history-window sampling.
+	Seed int64
+}
+
+func (c KSWINConfig) withDefaults() KSWINConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 1e-4
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 300
+	}
+	if c.RecentSize == 0 {
+		c.RecentSize = 30
+	}
+	if c.SoftThreshold == 0 {
+		c.SoftThreshold = 0.5
+	}
+	return c
+}
+
+// KSWIN is the hard-threshold windowing K-S detector (Raab et al. 2020):
+// it declares a transition the moment D(H,R) exceeds the threshold, which —
+// as Fig. 5a/9 show — fires on impulse pattern shifts inside a phase.
+type KSWIN struct {
+	cfg       KSWINConfig
+	threshold float64
+	rng       *rand.Rand
+	window    []float64
+}
+
+// NewKSWIN builds the hard detector.
+func NewKSWIN(cfg KSWINConfig) *KSWIN {
+	cfg = cfg.withDefaults()
+	return &KSWIN{
+		cfg:       cfg,
+		threshold: KSThreshold(cfg.Alpha, cfg.RecentSize),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Name implements Detector.
+func (k *KSWIN) Name() string { return "kswin" }
+
+// Reset implements Detector.
+func (k *KSWIN) Reset() {
+	k.window = k.window[:0]
+	k.rng = rand.New(rand.NewSource(k.cfg.Seed))
+}
+
+// Observe implements Detector.
+func (k *KSWIN) Observe(x float64) bool {
+	w, r := k.cfg.WindowSize, k.cfg.RecentSize
+	if len(k.window) < w {
+		k.window = append(k.window, x)
+		return false
+	}
+	copy(k.window, k.window[1:])
+	k.window[w-1] = x
+	recent := k.window[w-r:]
+	hist := sampleUniform(k.rng, k.window[:w-r], r)
+	if KSStatistic(hist, recent) > k.threshold {
+		// Hard detection: fire immediately and restart from the recent
+		// window (the reference KSWIN behaviour).
+		k.window = append(k.window[:0], recent...)
+		return true
+	}
+	return false
+}
+
+// SoftKSWIN is Algorithm 2: after a first positive K-S detection it keeps
+// sampling history only from points that predate the suspected shift, counts
+// positive detections until a full recent window of fresh samples has
+// arrived, and only declares a transition when the detection ratio exceeds
+// SoftThreshold — suppressing the impulse-shift false positives of KSWIN at
+// the cost of a ~r-sample lag.
+type SoftKSWIN struct {
+	cfg       KSWINConfig
+	threshold float64
+	rng       *rand.Rand
+	window    []float64
+	counter   int
+	detection int
+}
+
+// NewSoftKSWIN builds the soft detector.
+func NewSoftKSWIN(cfg KSWINConfig) *SoftKSWIN {
+	cfg = cfg.withDefaults()
+	return &SoftKSWIN{
+		cfg:       cfg,
+		threshold: KSThreshold(cfg.Alpha, cfg.RecentSize),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Name implements Detector.
+func (k *SoftKSWIN) Name() string { return "soft-kswin" }
+
+// Reset implements Detector.
+func (k *SoftKSWIN) Reset() {
+	k.window = k.window[:0]
+	k.counter, k.detection = 0, 0
+	k.rng = rand.New(rand.NewSource(k.cfg.Seed))
+}
+
+// Observe implements Detector.
+func (k *SoftKSWIN) Observe(x float64) bool {
+	w, r := k.cfg.WindowSize, k.cfg.RecentSize
+	if len(k.window) < w {
+		k.window = append(k.window, x)
+		return false
+	}
+	copy(k.window, k.window[1:])
+	k.window[w-1] = x
+	recent := k.window[w-r:]
+	// Soft history window H' excludes the most recent counter samples,
+	// which may already belong to the new pattern (Eq. 6).
+	histEnd := w - r - k.counter
+	if histEnd < r {
+		histEnd = r // keep a minimal unpolluted pool
+	}
+	hist := sampleUniform(k.rng, k.window[:histEnd], r)
+	positive := KSStatistic(hist, recent) > k.threshold
+
+	if k.counter == 0 {
+		if positive {
+			k.counter, k.detection = 1, 1
+		}
+		return false
+	}
+	k.counter++
+	if positive {
+		k.detection++
+	}
+	if k.counter < 2*r {
+		return false
+	}
+	// An entirely new recent window has been sampled since the first
+	// positive: decide. A genuine transition keeps testing positive on the
+	// now-fresh recent window; an impulse shift has reverted by now, so the
+	// current test is negative and the pending detection is dismissed.
+	ratio := float64(k.detection) / float64(k.counter)
+	k.counter, k.detection = 0, 0
+	if positive && ratio > k.cfg.SoftThreshold {
+		// Transition confirmed: reset the model onto the new pattern.
+		k.window = append(k.window[:0], recent...)
+		return true
+	}
+	return false
+}
+
+// sampleUniform draws n samples uniformly (with replacement) from pool.
+func sampleUniform(rng *rand.Rand, pool []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package prefetch
+
+import "mpgraph/internal/sim"
+
+// MarkovConfig parameterises the Markov prefetcher.
+type MarkovConfig struct {
+	// Successors per block (the original keeps up to 4).
+	Successors int
+	// TableSize bounds the number of tracked blocks (FIFO eviction).
+	TableSize int
+	// Degree is the total prefetches per access (top successors of the
+	// current block, then of the most likely successor, breadth-first).
+	Degree int
+}
+
+// DefaultMarkovConfig mirrors the ISCA 1997 proposal at degree 6.
+func DefaultMarkovConfig() MarkovConfig {
+	return MarkovConfig{Successors: 4, TableSize: 16384, Degree: 6}
+}
+
+// Markov models the classic Markov prefetcher (Joseph & Grunwald, ISCA
+// 1997): a first-order transition table keeping the most frequent
+// successors of each miss address, replayed breadth-first on each access.
+type Markov struct {
+	cfg   MarkovConfig
+	table map[uint64][]markovEdge
+	fifo  []uint64
+	prev  uint64
+	warm  bool
+}
+
+type markovEdge struct {
+	next  uint64
+	count int
+}
+
+// NewMarkov builds the prefetcher.
+func NewMarkov(cfg MarkovConfig) *Markov {
+	return &Markov{cfg: cfg, table: make(map[uint64][]markovEdge)}
+}
+
+// Name implements sim.Prefetcher.
+func (p *Markov) Name() string { return "markov" }
+
+// Operate implements sim.Prefetcher.
+func (p *Markov) Operate(acc sim.LLCAccess) []uint64 {
+	if p.warm && p.prev != acc.Block {
+		p.record(p.prev, acc.Block)
+	}
+	p.prev = acc.Block
+	p.warm = true
+
+	// Breadth-first replay: successors of the current block, then the
+	// successors of the best successor, until the degree budget fills.
+	out := make([]uint64, 0, p.cfg.Degree)
+	seen := map[uint64]bool{acc.Block: true}
+	enqueued := map[uint64]bool{acc.Block: true}
+	frontier := []uint64{acc.Block}
+	for len(frontier) > 0 && len(out) < p.cfg.Degree {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range p.table[cur] {
+			if seen[e.next] {
+				continue
+			}
+			seen[e.next] = true
+			out = append(out, e.next)
+			if len(out) >= p.cfg.Degree {
+				break
+			}
+		}
+		// Expand only through unvisited best successors so cyclic chains
+		// terminate.
+		if edges := p.table[cur]; len(edges) > 0 && !enqueued[edges[0].next] {
+			enqueued[edges[0].next] = true
+			frontier = append(frontier, edges[0].next)
+		}
+	}
+	return out
+}
+
+// record updates the successor list of prev, keeping it sorted by count.
+func (p *Markov) record(prev, next uint64) {
+	edges, exists := p.table[prev]
+	if !exists {
+		if len(p.fifo) >= p.cfg.TableSize {
+			delete(p.table, p.fifo[0])
+			p.fifo = p.fifo[1:]
+		}
+		p.fifo = append(p.fifo, prev)
+	}
+	for i := range edges {
+		if edges[i].next == next {
+			edges[i].count++
+			// Bubble toward the front to keep descending counts.
+			for i > 0 && edges[i-1].count < edges[i].count {
+				edges[i-1], edges[i] = edges[i], edges[i-1]
+				i--
+			}
+			p.table[prev] = edges
+			return
+		}
+	}
+	if len(edges) < p.cfg.Successors {
+		edges = append(edges, markovEdge{next: next, count: 1})
+	} else {
+		// Replace the weakest successor.
+		edges[len(edges)-1] = markovEdge{next: next, count: 1}
+	}
+	p.table[prev] = edges
+}

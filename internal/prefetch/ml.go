@@ -1,0 +1,192 @@
+package prefetch
+
+import (
+	"mpgraph/internal/models"
+	"mpgraph/internal/sim"
+	"mpgraph/internal/tensor"
+	"mpgraph/internal/trace"
+)
+
+// MLOptions tunes the ML baseline prefetchers.
+type MLOptions struct {
+	// Degree is the total prefetch degree (6 for all baselines, Section
+	// 5.4.1).
+	Degree int
+	// InferEvery throttles inference to every k-th LLC access (1 = every
+	// access); predictions persist between inferences.
+	InferEvery int
+	// LatencyCycles is the model inference latency reported to the
+	// simulator.
+	LatencyCycles uint64
+}
+
+func (o MLOptions) withDefaults() MLOptions {
+	if o.Degree <= 0 {
+		o.Degree = 6
+	}
+	if o.InferEvery <= 0 {
+		o.InferEvery = 1
+	}
+	return o
+}
+
+// DeltaLSTM is the Delta-LSTM baseline (Hashemi et al. 2018): a pretrained
+// LSTM over delta/PC history predicting the top future deltas.
+type DeltaLSTM struct {
+	opt   MLOptions
+	model models.DeltaModel
+	hist  *models.History
+	tick  int
+}
+
+// NewDeltaLSTM wraps a trained delta model (expected: models.LSTMDelta).
+func NewDeltaLSTM(model models.DeltaModel, historyT int, opt MLOptions) *DeltaLSTM {
+	return &DeltaLSTM{opt: opt.withDefaults(), model: model, hist: models.NewHistory(historyT)}
+}
+
+// Name implements sim.Prefetcher.
+func (p *DeltaLSTM) Name() string { return "delta-lstm" }
+
+// InferenceLatencyCycles implements sim.InferenceLatency.
+func (p *DeltaLSTM) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
+
+// Operate implements sim.Prefetcher.
+func (p *DeltaLSTM) Operate(acc sim.LLCAccess) []uint64 {
+	p.hist.Push(acc.Block, acc.PC)
+	p.tick++
+	if !p.hist.Warm() || p.tick%p.opt.InferEvery != 0 {
+		return nil
+	}
+	restore := tensor.SetGradEnabled(false)
+	defer tensor.SetGradEnabled(restore)
+	return deltaPrefetches(p.model, p.hist.Sample(0), acc.Block, p.opt.Degree)
+}
+
+// TransFetch is the TransFetch baseline (Zhang et al. 2022): an
+// attention-based delta predictor with fine-grained address segmentation.
+type TransFetch struct {
+	opt   MLOptions
+	model models.DeltaModel
+	hist  *models.History
+	tick  int
+}
+
+// NewTransFetch wraps a trained delta model (expected: models.AttnDelta).
+func NewTransFetch(model models.DeltaModel, historyT int, opt MLOptions) *TransFetch {
+	return &TransFetch{opt: opt.withDefaults(), model: model, hist: models.NewHistory(historyT)}
+}
+
+// Name implements sim.Prefetcher.
+func (p *TransFetch) Name() string { return "transfetch" }
+
+// InferenceLatencyCycles implements sim.InferenceLatency.
+func (p *TransFetch) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
+
+// Operate implements sim.Prefetcher.
+func (p *TransFetch) Operate(acc sim.LLCAccess) []uint64 {
+	p.hist.Push(acc.Block, acc.PC)
+	p.tick++
+	if !p.hist.Warm() || p.tick%p.opt.InferEvery != 0 {
+		return nil
+	}
+	restore := tensor.SetGradEnabled(false)
+	defer tensor.SetGradEnabled(restore)
+	return deltaPrefetches(p.model, p.hist.Sample(0), acc.Block, p.opt.Degree)
+}
+
+// Voyager is the Voyager baseline (Shi et al. 2021): two models — a page
+// predictor and an offset/delta predictor — whose predictions compose into
+// prefetch addresses. The predicted page is based at its last-seen offset
+// (tracked per page), where the offset model's deltas apply.
+type Voyager struct {
+	opt        MLOptions
+	pageModel  models.PageModel
+	deltaModel models.DeltaModel
+	hist       *models.History
+	lastOffset map[uint64]uint64
+	fifo       []uint64
+	tick       int
+}
+
+// NewVoyager wraps trained page and delta models (expected: LSTM-based).
+func NewVoyager(pageModel models.PageModel, deltaModel models.DeltaModel, historyT int, opt MLOptions) *Voyager {
+	return &Voyager{
+		opt:        opt.withDefaults(),
+		pageModel:  pageModel,
+		deltaModel: deltaModel,
+		hist:       models.NewHistory(historyT),
+		lastOffset: make(map[uint64]uint64),
+	}
+}
+
+// Name implements sim.Prefetcher.
+func (p *Voyager) Name() string { return "voyager" }
+
+// InferenceLatencyCycles implements sim.InferenceLatency.
+func (p *Voyager) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
+
+// Operate implements sim.Prefetcher.
+func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
+	page := trace.PageOfBlock(acc.Block)
+	if _, seen := p.lastOffset[page]; !seen {
+		if len(p.fifo) >= 4096 {
+			delete(p.lastOffset, p.fifo[0])
+			p.fifo = p.fifo[1:]
+		}
+		p.fifo = append(p.fifo, page)
+	}
+	p.lastOffset[page] = trace.BlockOffset(acc.Block)
+	p.hist.Push(acc.Block, acc.PC)
+	p.tick++
+	if !p.hist.Warm() || p.tick%p.opt.InferEvery != 0 {
+		return nil
+	}
+	restore := tensor.SetGradEnabled(false)
+	defer tensor.SetGradEnabled(restore)
+
+	s := p.hist.Sample(0)
+	// Half the degree goes spatially at the current block, half at the
+	// predicted page.
+	half := p.opt.Degree / 2
+	out := deltaPrefetches(p.deltaModel, s, acc.Block, half)
+	for _, pg := range p.pageModel.TopPages(s, 1) {
+		off, ok := p.lastOffset[pg]
+		if !ok {
+			off = 0
+		}
+		base := trace.BlockOfPageOffset(pg, off)
+		out = append(out, base)
+		rest := p.opt.Degree - len(out)
+		if rest > 0 {
+			out = append(out, deltaPrefetches(p.deltaModel, s, base, rest)...)
+		}
+	}
+	if len(out) > p.opt.Degree {
+		out = out[:p.opt.Degree]
+	}
+	return out
+}
+
+// deltaPrefetches converts a delta model's top-k classes into block
+// addresses relative to base.
+func deltaPrefetches(m models.DeltaModel, s *models.Sample, base uint64, k int) []uint64 {
+	if k <= 0 {
+		return nil
+	}
+	scores := m.DeltaScores(s)
+	cfgRange := len(scores) / 2
+	out := make([]uint64, 0, k)
+	for _, cls := range models.TopKClasses(scores, k) {
+		var delta int64
+		if cls < cfgRange {
+			delta = int64(cls) - int64(cfgRange)
+		} else {
+			delta = int64(cls-cfgRange) + 1
+		}
+		target := int64(base) + delta
+		if target >= 0 {
+			out = append(out, uint64(target))
+		}
+	}
+	return out
+}

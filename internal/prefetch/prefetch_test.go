@@ -1,0 +1,563 @@
+package prefetch
+
+import (
+	"testing"
+
+	"mpgraph/internal/models"
+	"mpgraph/internal/sim"
+	"mpgraph/internal/trace"
+)
+
+func TestBOLearnsPositiveStride(t *testing.T) {
+	bo := NewBO(DefaultBOConfig())
+	var last []uint64
+	for i := 0; i < 2000; i++ {
+		last = bo.Operate(sim.LLCAccess{Block: uint64(i) * 3})
+	}
+	if bo.BestOffset() != 3 {
+		t.Fatalf("best offset = %d, want 3", bo.BestOffset())
+	}
+	if len(last) != 6 {
+		t.Fatalf("degree-6 BO issued %d", len(last))
+	}
+	base := uint64(1999 * 3)
+	for k, b := range last {
+		if b != base+uint64(3*(k+1)) {
+			t.Fatalf("prefetch %d = %d, want %d", k, b, base+uint64(3*(k+1)))
+		}
+	}
+}
+
+func TestBOLearnsNegativeStride(t *testing.T) {
+	bo := NewBO(DefaultBOConfig())
+	start := uint64(1 << 20)
+	for i := 0; i < 2000; i++ {
+		bo.Operate(sim.LLCAccess{Block: start - uint64(i)*2})
+	}
+	if bo.BestOffset() != -2 {
+		t.Fatalf("best offset = %d, want -2", bo.BestOffset())
+	}
+}
+
+func TestBOClampsAtZero(t *testing.T) {
+	bo := NewBO(DefaultBOConfig())
+	for i := 0; i < 500; i++ {
+		bo.Operate(sim.LLCAccess{Block: uint64(500-i) * 2})
+	}
+	out := bo.Operate(sim.LLCAccess{Block: 1})
+	for _, b := range out {
+		if b > 1<<40 {
+			t.Fatalf("wrapped prefetch %d", b)
+		}
+	}
+}
+
+func TestBOInSimulatorImprovesIPC(t *testing.T) {
+	var tr []trace.Access
+	for i := 0; i < 40000; i++ {
+		tr = append(tr, trace.Access{Addr: uint64(i) * 64 * 2, Gap: 2})
+	}
+	cfg := sim.DefaultConfig()
+	base, _ := sim.NewEngine(cfg, nil)
+	mb := base.Run(tr)
+	eng, _ := sim.NewEngine(cfg, NewBO(DefaultBOConfig()))
+	mp := eng.Run(tr)
+	if mp.IPCImprovement(mb) <= 0.02 {
+		t.Fatalf("BO should clearly improve strided IPC: %.4f vs %.4f", mp.IPC(), mb.IPC())
+	}
+	if mp.Accuracy() < 0.6 {
+		t.Fatalf("BO accuracy on stride = %.3f", mp.Accuracy())
+	}
+}
+
+func TestISBReplaysTemporalStream(t *testing.T) {
+	isb := NewISB(DefaultISBConfig())
+	seq := []uint64{100, 5000, 42, 777, 31337}
+	pc := uint64(0x400000)
+	// Two passes record the successor chain; third pass replays it.
+	var out []uint64
+	for pass := 0; pass < 3; pass++ {
+		for _, b := range seq {
+			out = isb.Operate(sim.LLCAccess{Block: b, PC: pc})
+		}
+	}
+	// After the last element, the successor of 31337 is 100 (wrap).
+	if len(out) == 0 || out[0] != seq[0] {
+		t.Fatalf("ISB replay after chain = %v, want head %d", out, seq[0])
+	}
+	// From the first element the full chain should replay.
+	out = isb.Operate(sim.LLCAccess{Block: seq[0], PC: pc})
+	want := []uint64{5000, 42, 777, 31337, 100, 5000}
+	for i := range want {
+		if i >= len(out) || out[i] != want[i] {
+			t.Fatalf("chain %v, want prefix %v", out, want)
+		}
+	}
+}
+
+func TestISBPCLocalization(t *testing.T) {
+	isb := NewISB(DefaultISBConfig())
+	// Interleaved streams on two PCs: correlations must not cross.
+	for i := 0; i < 50; i++ {
+		isb.Operate(sim.LLCAccess{Block: uint64(1000 + i%5), PC: 0xA})
+		isb.Operate(sim.LLCAccess{Block: uint64(2000 + i%5), PC: 0xB})
+	}
+	out := isb.Operate(sim.LLCAccess{Block: 1000, PC: 0xA})
+	for _, b := range out {
+		if b >= 2000 && b < 3000 {
+			t.Fatalf("cross-PC correlation leaked: %v", out)
+		}
+	}
+}
+
+func TestISBBoundedTable(t *testing.T) {
+	isb := NewISB(ISBConfig{MaxPairs: 8, Degree: 2})
+	for i := 0; i < 1000; i++ {
+		isb.Operate(sim.LLCAccess{Block: uint64(i), PC: 7})
+	}
+	if len(isb.successor) > 8 {
+		t.Fatalf("successor table grew to %d", len(isb.successor))
+	}
+}
+
+// tinyTrainedModels trains the small baseline models on a short synthetic
+// stream and returns them with the dataset.
+func tinyTrainedModels(t *testing.T) (*models.Dataset, models.DeltaModel, models.PageModel) {
+	t.Helper()
+	cfg := models.SmallConfig()
+	var stream []trace.Access
+	block := uint64(1 << 20)
+	for i := 0; i < 2500; i++ {
+		stream = append(stream, trace.Access{Addr: trace.BlockAddr(block), PC: 0x40 * uint64(i%3)})
+		block += uint64(1 + i%2)
+	}
+	ds, err := models.BuildDataset(cfg, stream, models.DatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := models.NewLSTMDelta(cfg, 3)
+	if err := models.TrainDelta(delta, ds, models.TrainOptions{Epochs: 1, Seed: 1, MaxSamplesPerEpoch: 100}); err != nil {
+		t.Fatal(err)
+	}
+	page := models.NewLSTMPage(cfg, ds.Pages, ds.PCs, 5)
+	if err := models.TrainPage(page, ds, models.TrainOptions{Epochs: 1, Seed: 1, MaxSamplesPerEpoch: 60}); err != nil {
+		t.Fatal(err)
+	}
+	return ds, delta, page
+}
+
+func TestMLPrefetchersOperate(t *testing.T) {
+	ds, delta, page := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	pfs := []sim.Prefetcher{
+		NewDeltaLSTM(delta, T, MLOptions{Degree: 6}),
+		NewTransFetch(delta, T, MLOptions{Degree: 6}),
+		NewVoyager(page, delta, T, MLOptions{Degree: 6}),
+	}
+	for _, pf := range pfs {
+		var out []uint64
+		for i := 0; i < T+5; i++ {
+			out = pf.Operate(sim.LLCAccess{Block: uint64(4096 + i), PC: 0x40})
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s: no prefetches after warm-up", pf.Name())
+		}
+		if len(out) > 6 {
+			t.Fatalf("%s: degree exceeded: %d", pf.Name(), len(out))
+		}
+	}
+}
+
+func TestMLWarmupNoPrefetch(t *testing.T) {
+	ds, delta, _ := tinyTrainedModels(t)
+	pf := NewDeltaLSTM(delta, ds.Cfg.HistoryT, MLOptions{})
+	if out := pf.Operate(sim.LLCAccess{Block: 1}); out != nil {
+		t.Fatal("cold prefetcher must stay silent")
+	}
+}
+
+func TestInferEveryThrottle(t *testing.T) {
+	ds, delta, _ := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	pf := NewTransFetch(delta, T, MLOptions{Degree: 4, InferEvery: 4})
+	issued := 0
+	for i := 0; i < 4*20+T; i++ {
+		if out := pf.Operate(sim.LLCAccess{Block: uint64(i), PC: 1}); len(out) > 0 {
+			issued++
+		}
+	}
+	if issued == 0 || issued > 25 {
+		t.Fatalf("throttled prefetcher issued on %d of ~89 accesses", issued)
+	}
+}
+
+func TestInferenceLatencyReported(t *testing.T) {
+	ds, delta, page := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	for _, pf := range []sim.InferenceLatency{
+		NewDeltaLSTM(delta, T, MLOptions{LatencyCycles: 99}),
+		NewTransFetch(delta, T, MLOptions{LatencyCycles: 99}),
+		NewVoyager(page, delta, T, MLOptions{LatencyCycles: 99}),
+	} {
+		if pf.InferenceLatencyCycles() != 99 {
+			t.Fatal("latency not reported")
+		}
+	}
+}
+
+func TestVLDPLearnsAlternatingDeltas(t *testing.T) {
+	v := NewVLDP(DefaultVLDPConfig())
+	// Within one page: deltas alternate +1, +2 — a pattern a single-delta
+	// table mispredicts but a history-length-2 table nails.
+	block := trace.BlockOfPageOffset(100, 0)
+	var out []uint64
+	deltas := []uint64{1, 2}
+	for i := 0; i < 40; i++ {
+		out = v.Operate(sim.LLCAccess{Block: block})
+		block += deltas[i%2]
+	}
+	if len(out) == 0 {
+		t.Fatal("no predictions after training")
+	}
+	// After the final +2 step the history ends ...,1,2 wait: reconstruct —
+	// the returned chain must alternate deltas, not repeat one.
+	d1 := int64(out[0]) - int64(block-deltas[(40-1)%2])
+	if len(out) >= 2 {
+		d2 := int64(out[1]) - int64(out[0])
+		if d1 == d2 {
+			t.Fatalf("chain repeats a single delta (%d,%d); should alternate", d1, d2)
+		}
+	}
+}
+
+func TestVLDPPageLocality(t *testing.T) {
+	v := NewVLDP(VLDPConfig{HistoryLen: 2, TableSize: 64, Degree: 2})
+	// Two pages with independent strides must keep separate last-block
+	// state.
+	a := trace.BlockOfPageOffset(10, 0)
+	b := trace.BlockOfPageOffset(20, 0)
+	for i := 0; i < 20; i++ {
+		v.Operate(sim.LLCAccess{Block: a})
+		v.Operate(sim.LLCAccess{Block: b})
+		a++
+		b += 2
+	}
+	outA := v.Operate(sim.LLCAccess{Block: a})
+	if len(outA) == 0 || outA[0] != a+1 {
+		t.Fatalf("page A stride prediction = %v, want %d", outA, a+1)
+	}
+}
+
+func TestVLDPBoundedTables(t *testing.T) {
+	v := NewVLDP(VLDPConfig{HistoryLen: 2, TableSize: 8, Degree: 2})
+	rngBlock := uint64(0)
+	for i := 0; i < 5000; i++ {
+		rngBlock += uint64(i%97 + 1)
+		v.Operate(sim.LLCAccess{Block: rngBlock})
+	}
+	for k, tbl := range v.tables {
+		if len(tbl) > 8 {
+			t.Fatalf("table %d grew to %d", k, len(tbl))
+		}
+	}
+	if len(v.pages) > v.pageLimit {
+		t.Fatal("page table unbounded")
+	}
+}
+
+func TestDominoReplaysAndDisambiguates(t *testing.T) {
+	p := NewDomino(DefaultDominoConfig())
+	// Two interleaved contexts: (A,X) -> B and (A,Y) -> C. A single-index
+	// replayer would conflate them; the pair index must not.
+	seq := []uint64{7, 100, 200, 7, 111, 300}
+	for pass := 0; pass < 4; pass++ {
+		for _, b := range seq {
+			p.Operate(sim.LLCAccess{Block: b})
+		}
+	}
+	// Context (7,100): next must be 200.
+	p.Operate(sim.LLCAccess{Block: 7})
+	out := p.Operate(sim.LLCAccess{Block: 100})
+	if len(out) == 0 || out[0] != 200 {
+		t.Fatalf("context (7,100) -> %v, want 200 first", out)
+	}
+	// Context (7,111): next must be 300.
+	p.Operate(sim.LLCAccess{Block: 7})
+	out = p.Operate(sim.LLCAccess{Block: 111})
+	if len(out) == 0 || out[0] != 300 {
+		t.Fatalf("context (7,111) -> %v, want 300 first", out)
+	}
+}
+
+func TestDominoBounded(t *testing.T) {
+	p := NewDomino(DominoConfig{MaxPairs: 16, Degree: 2})
+	for i := 0; i < 2000; i++ {
+		p.Operate(sim.LLCAccess{Block: uint64(i * 3)})
+	}
+	if len(p.successor) > 16 {
+		t.Fatalf("pair table grew to %d", len(p.successor))
+	}
+}
+
+func TestIMPDetectsIndirectPattern(t *testing.T) {
+	p := NewIMP(DefaultIMPConfig())
+	idxPC, indPC := uint64(0x400000), uint64(0x400040)
+	idxBase := uint64(1 << 10)
+	indBase := int64(1 << 20)
+	coeff := int64(3)
+	var out []uint64
+	var slot int64
+	for i := 0; i < 30; i++ {
+		p.Operate(sim.LLCAccess{Block: idxBase + uint64(i), PC: idxPC})
+		slot = int64(i)
+		out = p.Operate(sim.LLCAccess{Block: uint64(indBase + coeff*slot), PC: indPC})
+	}
+	if len(out) == 0 {
+		t.Fatal("IMP never predicted")
+	}
+	// Note: the stream's slot counter only advances on streaming steps, so
+	// recover the expected next target from IMP's own observed pairing: the
+	// predictions must continue the linear pattern with the learned coeff.
+	if int64(out[0])-int64(uint64(indBase+coeff*slot)) != coeff {
+		t.Fatalf("first prediction %d does not continue the coeff-%d pattern from %d", out[0], coeff, indBase+coeff*slot)
+	}
+	for k := 1; k < len(out); k++ {
+		if int64(out[k])-int64(out[k-1]) != coeff {
+			t.Fatalf("prediction chain not linear: %v", out)
+		}
+	}
+}
+
+func TestIMPIgnoresRandomPairs(t *testing.T) {
+	p := NewIMP(DefaultIMPConfig())
+	rng := uint64(12345)
+	issued := 0
+	for i := 0; i < 500; i++ {
+		p.Operate(sim.LLCAccess{Block: uint64(1000 + i), PC: 0xA})
+		rng = rng*6364136223846793005 + 1442695040888963407
+		if out := p.Operate(sim.LLCAccess{Block: rng % (1 << 30), PC: 0xB}); len(out) > 0 {
+			issued += len(out)
+		}
+	}
+	if issued > 200 {
+		t.Fatalf("IMP issued %d prefetches on random indirection; confidence too loose", issued)
+	}
+}
+
+// randomPF issues useless prefetches at distant addresses.
+type randomPF struct{ n uint64 }
+
+func (randomPF) Name() string { return "random" }
+func (r *randomPF) Operate(sim.LLCAccess) []uint64 {
+	out := make([]uint64, 6)
+	for i := range out {
+		r.n = r.n*6364136223846793005 + 1442695040888963407
+		out[i] = r.n % (1 << 40)
+	}
+	return out
+}
+
+func TestThrottleLowersDegreeOnUselessPrefetches(t *testing.T) {
+	th := NewThrottle(&randomPF{n: 7}, DefaultThrottleConfig())
+	for i := 0; i < 6000; i++ {
+		th.Operate(sim.LLCAccess{Block: uint64(i)})
+	}
+	if th.Degree() != 1 {
+		t.Fatalf("degree = %d after useless epochs, want 1", th.Degree())
+	}
+}
+
+func TestThrottleKeepsDegreeOnAccuratePrefetches(t *testing.T) {
+	cfg := DefaultThrottleConfig()
+	th := NewThrottle(nextLine{degree: 6}, cfg)
+	for i := 0; i < 6000; i++ {
+		th.Operate(sim.LLCAccess{Block: uint64(i)})
+	}
+	if th.Degree() != cfg.MaxDegree {
+		t.Fatalf("degree = %d on perfect stream, want %d", th.Degree(), cfg.MaxDegree)
+	}
+}
+
+func TestThrottleRecovers(t *testing.T) {
+	// Phase 1: random addresses (degree collapses). Phase 2: sequential
+	// (degree climbs back).
+	th := NewThrottle(nextLine{degree: 6}, DefaultThrottleConfig())
+	rng := uint64(3)
+	for i := 0; i < 4000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		th.Operate(sim.LLCAccess{Block: rng % (1 << 40)})
+	}
+	low := th.Degree()
+	if low >= 6 {
+		t.Fatalf("degree should have dropped, got %d", low)
+	}
+	for i := 0; i < 8000; i++ {
+		th.Operate(sim.LLCAccess{Block: uint64(1<<20 + i)})
+	}
+	if th.Degree() <= low {
+		t.Fatalf("degree should recover: %d -> %d", low, th.Degree())
+	}
+}
+
+func TestThrottleForwardsNameAndLatency(t *testing.T) {
+	th := NewThrottle(fixedLatencyPF2{}, ThrottleConfig{})
+	if th.Name() != "fixed+throttle" {
+		t.Fatalf("name %q", th.Name())
+	}
+	if th.InferenceLatencyCycles() != 42 {
+		t.Fatal("latency not forwarded")
+	}
+	plain := NewThrottle(nextLine{degree: 2}, ThrottleConfig{})
+	if plain.InferenceLatencyCycles() != 0 {
+		t.Fatal("plain inner has no latency")
+	}
+}
+
+type fixedLatencyPF2 struct{}
+
+func (fixedLatencyPF2) Name() string                   { return "fixed" }
+func (fixedLatencyPF2) Operate(sim.LLCAccess) []uint64 { return nil }
+func (fixedLatencyPF2) InferenceLatencyCycles() uint64 { return 42 }
+
+// nextLine test helper shared with the simulator tests.
+type nextLine struct{ degree int }
+
+func (nextLine) Name() string { return "nextline" }
+func (p nextLine) Operate(a sim.LLCAccess) []uint64 {
+	var out []uint64
+	for d := 1; d <= p.degree; d++ {
+		out = append(out, a.Block+uint64(d))
+	}
+	return out
+}
+
+func TestSMSLearnsFootprints(t *testing.T) {
+	p := NewSMS(DefaultSMSConfig())
+	// A code site touches offsets {0, 3, 7} of many regions; after the
+	// pattern is committed, triggering a new region at offset 0 with the
+	// same PC must replay offsets 3 and 7.
+	pc := uint64(0x400000)
+	region := uint64(1000)
+	for r := 0; r < 70; r++ { // > ActiveRegions so generations commit
+		base := (region + uint64(r)) * 32
+		p.Operate(sim.LLCAccess{Block: base + 0, PC: pc})
+		p.Operate(sim.LLCAccess{Block: base + 3, PC: pc})
+		p.Operate(sim.LLCAccess{Block: base + 7, PC: pc})
+	}
+	newBase := uint64(99999) * 32
+	out := p.Operate(sim.LLCAccess{Block: newBase + 0, PC: pc})
+	want := map[uint64]bool{newBase + 3: true, newBase + 7: true}
+	if len(out) != 2 || !want[out[0]] || !want[out[1]] {
+		t.Fatalf("footprint replay = %v, want offsets 3 and 7", out)
+	}
+}
+
+func TestSMSSignatureSelectivity(t *testing.T) {
+	p := NewSMS(DefaultSMSConfig())
+	for r := 0; r < 70; r++ {
+		base := uint64(r) * 32
+		p.Operate(sim.LLCAccess{Block: base, PC: 0xA})
+		p.Operate(sim.LLCAccess{Block: base + 5, PC: 0xA})
+	}
+	// A different trigger PC must not replay PC 0xA's footprint.
+	out := p.Operate(sim.LLCAccess{Block: 88888 * 32, PC: 0xB})
+	if len(out) != 0 {
+		t.Fatalf("foreign signature replayed %v", out)
+	}
+}
+
+func TestSMSConfigSanitised(t *testing.T) {
+	p := NewSMS(SMSConfig{RegionBlocks: 33})
+	if p.cfg.RegionBlocks != 32 {
+		t.Fatal("bad region size must fall back to 32")
+	}
+}
+
+func TestMarkovReplaysChains(t *testing.T) {
+	p := NewMarkov(DefaultMarkovConfig())
+	seq := []uint64{10, 20, 30, 40}
+	for pass := 0; pass < 5; pass++ {
+		for _, b := range seq {
+			p.Operate(sim.LLCAccess{Block: b})
+		}
+	}
+	out := p.Operate(sim.LLCAccess{Block: 10})
+	if len(out) == 0 || out[0] != 20 {
+		t.Fatalf("first successor of 10 = %v, want 20", out)
+	}
+	// Breadth-first expansion should continue the chain.
+	found30 := false
+	for _, b := range out {
+		if b == 30 {
+			found30 = true
+		}
+	}
+	if !found30 {
+		t.Fatalf("chain expansion missing 30: %v", out)
+	}
+}
+
+func TestMarkovFrequencyOrdering(t *testing.T) {
+	p := NewMarkov(MarkovConfig{Successors: 2, TableSize: 64, Degree: 2})
+	// 5 -> 6 three times, 5 -> 7 once: 6 must rank first.
+	for _, next := range []uint64{6, 7, 6, 6} {
+		p.Operate(sim.LLCAccess{Block: 5})
+		p.Operate(sim.LLCAccess{Block: next})
+	}
+	out := p.Operate(sim.LLCAccess{Block: 5})
+	if len(out) == 0 || out[0] != 6 {
+		t.Fatalf("most frequent successor must rank first: %v", out)
+	}
+}
+
+func TestMarkovBounded(t *testing.T) {
+	p := NewMarkov(MarkovConfig{Successors: 2, TableSize: 8, Degree: 2})
+	for i := 0; i < 1000; i++ {
+		p.Operate(sim.LLCAccess{Block: uint64(i * 17)})
+	}
+	if len(p.table) > 8 {
+		t.Fatalf("table grew to %d", len(p.table))
+	}
+}
+
+func TestEnsembleRewardsUsefulComponent(t *testing.T) {
+	// Component 0: accurate next-line; component 1: useless random.
+	e := NewEnsemble(DefaultEnsembleConfig(), nextLine{degree: 6}, &randomPF{n: 3})
+	for i := 0; i < 8000; i++ {
+		e.Operate(sim.LLCAccess{Block: uint64(i)})
+	}
+	credits := e.Credits()
+	if credits[0] <= 2*credits[1] {
+		t.Fatalf("useful component must dominate: %v", credits)
+	}
+	// The budget is respected and the useful component fills most of it.
+	out := e.Operate(sim.LLCAccess{Block: 1 << 20})
+	if len(out) == 0 || len(out) > 6 {
+		t.Fatalf("budget violated: %d", len(out))
+	}
+}
+
+func TestEnsembleDedupsProposals(t *testing.T) {
+	e := NewEnsemble(EnsembleConfig{Degree: 4}, nextLine{degree: 4}, nextLine{degree: 4})
+	var out []uint64
+	for i := 0; i < 10; i++ {
+		out = e.Operate(sim.LLCAccess{Block: uint64(100 + i)})
+	}
+	seen := map[uint64]bool{}
+	for _, b := range out {
+		if seen[b] {
+			t.Fatalf("duplicate prefetch %d in %v", b, out)
+		}
+		seen[b] = true
+	}
+}
+
+func TestEnsembleLatencyIsWorstComponent(t *testing.T) {
+	e := NewEnsemble(EnsembleConfig{}, fixedLatencyPF2{}, nextLine{degree: 1})
+	if e.InferenceLatencyCycles() != 42 {
+		t.Fatal("ensemble latency must be the slowest component's")
+	}
+	if e.Name() != "ensemble" {
+		t.Fatal("name")
+	}
+}

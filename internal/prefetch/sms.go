@@ -1,0 +1,112 @@
+package prefetch
+
+import "mpgraph/internal/sim"
+
+// SMSConfig parameterises Spatial Memory Streaming.
+type SMSConfig struct {
+	// RegionBlocks is the spatial region size in blocks (power of two;
+	// the original uses 2 KB regions = 32 blocks).
+	RegionBlocks int
+	// ActiveRegions bounds the active generation table.
+	ActiveRegions int
+	// PatternTable bounds the pattern history table.
+	PatternTable int
+	// MaxPrefetches caps the footprint replay per trigger.
+	MaxPrefetches int
+}
+
+// DefaultSMSConfig mirrors the ISCA 2006 proposal with a degree-6 cap.
+func DefaultSMSConfig() SMSConfig {
+	return SMSConfig{RegionBlocks: 32, ActiveRegions: 64, PatternTable: 4096, MaxPrefetches: 6}
+}
+
+// SMS models Spatial Memory Streaming (Somogyi et al., ISCA 2006), a
+// related-work spatial prefetcher: it learns, per (trigger PC, trigger
+// offset) signature, the footprint bitmap of blocks a code region touches
+// within a spatial region, and replays that footprint on the next trigger
+// with the same signature.
+type SMS struct {
+	cfg SMSConfig
+
+	// active generations: region -> accumulating footprint.
+	active     map[uint64]*smsGeneration
+	activeFIFO []uint64
+
+	// pattern history: signature -> footprint bitmap.
+	patterns    map[uint64]uint64
+	patternFIFO []uint64
+}
+
+type smsGeneration struct {
+	signature uint64
+	footprint uint64 // bit i = block i of the region was touched
+}
+
+// NewSMS builds the prefetcher.
+func NewSMS(cfg SMSConfig) *SMS {
+	if cfg.RegionBlocks <= 0 || cfg.RegionBlocks > 64 || cfg.RegionBlocks&(cfg.RegionBlocks-1) != 0 {
+		cfg.RegionBlocks = 32
+	}
+	return &SMS{cfg: cfg, active: make(map[uint64]*smsGeneration), patterns: make(map[uint64]uint64)}
+}
+
+// Name implements sim.Prefetcher.
+func (p *SMS) Name() string { return "sms" }
+
+func (p *SMS) region(block uint64) (region uint64, offset int) {
+	return block / uint64(p.cfg.RegionBlocks), int(block % uint64(p.cfg.RegionBlocks))
+}
+
+func signature(pc uint64, offset int) uint64 {
+	return pc<<6 ^ uint64(offset)
+}
+
+// Operate implements sim.Prefetcher.
+func (p *SMS) Operate(acc sim.LLCAccess) []uint64 {
+	region, offset := p.region(acc.Block)
+	gen, ok := p.active[region]
+	if ok {
+		gen.footprint |= 1 << offset
+		return nil
+	}
+
+	// Region trigger: end the oldest generation if the table is full,
+	// committing its footprint to the pattern table.
+	if len(p.activeFIFO) >= p.cfg.ActiveRegions {
+		old := p.activeFIFO[0]
+		p.activeFIFO = p.activeFIFO[1:]
+		p.commit(p.active[old])
+		delete(p.active, old)
+	}
+	sig := signature(acc.PC, offset)
+	p.active[region] = &smsGeneration{signature: sig, footprint: 1 << offset}
+	p.activeFIFO = append(p.activeFIFO, region)
+
+	// Replay the learned footprint for this signature.
+	pattern, ok := p.patterns[sig]
+	if !ok {
+		return nil
+	}
+	base := region * uint64(p.cfg.RegionBlocks)
+	out := make([]uint64, 0, p.cfg.MaxPrefetches)
+	for b := 0; b < p.cfg.RegionBlocks && len(out) < p.cfg.MaxPrefetches; b++ {
+		if b != offset && pattern&(1<<b) != 0 {
+			out = append(out, base+uint64(b))
+		}
+	}
+	return out
+}
+
+func (p *SMS) commit(gen *smsGeneration) {
+	if gen == nil {
+		return
+	}
+	if _, exists := p.patterns[gen.signature]; !exists {
+		if len(p.patternFIFO) >= p.cfg.PatternTable {
+			delete(p.patterns, p.patternFIFO[0])
+			p.patternFIFO = p.patternFIFO[1:]
+		}
+		p.patternFIFO = append(p.patternFIFO, gen.signature)
+	}
+	p.patterns[gen.signature] = gen.footprint
+}

@@ -1,0 +1,135 @@
+package prefetch
+
+import (
+	"mpgraph/internal/sim"
+	"mpgraph/internal/trace"
+)
+
+// VLDPConfig parameterises the Variable Length Delta Prefetcher.
+type VLDPConfig struct {
+	// HistoryLen is the longest delta-history key (the original uses up to
+	// 3 deltas).
+	HistoryLen int
+	// TableSize bounds each delta-history table (FIFO eviction).
+	TableSize int
+	// Degree is the prediction-chain walk length.
+	Degree int
+}
+
+// DefaultVLDPConfig mirrors the MICRO 2015 proposal at degree 6.
+func DefaultVLDPConfig() VLDPConfig { return VLDPConfig{HistoryLen: 3, TableSize: 4096, Degree: 6} }
+
+// VLDP models the Variable Length Delta Prefetcher (Shevgoor et al., MICRO
+// 2015), a rule-based spatial prefetcher the paper's related work discusses:
+// per page, the recent delta history is matched against delta-history
+// tables of increasing key length, longer matches taking precedence; the
+// predicted delta chain generates prefetches within the page region.
+type VLDP struct {
+	cfg VLDPConfig
+	// tables[k] maps a (k+1)-delta history key to the next delta.
+	tables []map[string]int64
+	fifos  [][]string
+	// per-page last block and delta history.
+	pages     map[uint64]*vldpPage
+	pageFIFO  []uint64
+	pageLimit int
+}
+
+type vldpPage struct {
+	lastBlock uint64
+	history   []int64
+}
+
+// NewVLDP builds the prefetcher.
+func NewVLDP(cfg VLDPConfig) *VLDP {
+	v := &VLDP{cfg: cfg, pages: make(map[uint64]*vldpPage), pageLimit: 256}
+	for k := 0; k < cfg.HistoryLen; k++ {
+		v.tables = append(v.tables, make(map[string]int64))
+		v.fifos = append(v.fifos, nil)
+	}
+	return v
+}
+
+// Name implements sim.Prefetcher.
+func (v *VLDP) Name() string { return "vldp" }
+
+func historyKey(h []int64) string {
+	b := make([]byte, 0, len(h)*8)
+	for _, d := range h {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(d>>s))
+		}
+	}
+	return string(b)
+}
+
+// Operate implements sim.Prefetcher.
+func (v *VLDP) Operate(acc sim.LLCAccess) []uint64 {
+	page := trace.PageOfBlock(acc.Block)
+	st, ok := v.pages[page]
+	if !ok {
+		if len(v.pageFIFO) >= v.pageLimit {
+			delete(v.pages, v.pageFIFO[0])
+			v.pageFIFO = v.pageFIFO[1:]
+		}
+		st = &vldpPage{lastBlock: acc.Block}
+		v.pages[page] = st
+		v.pageFIFO = append(v.pageFIFO, page)
+		return nil
+	}
+	delta := int64(acc.Block) - int64(st.lastBlock)
+	st.lastBlock = acc.Block
+	if delta == 0 {
+		return nil
+	}
+	// Train every history length with the observed delta.
+	for k := 0; k < v.cfg.HistoryLen && k < len(st.history); k++ {
+		key := historyKey(st.history[len(st.history)-k-1:])
+		if _, exists := v.tables[k][key]; !exists {
+			if len(v.fifos[k]) >= v.cfg.TableSize {
+				delete(v.tables[k], v.fifos[k][0])
+				v.fifos[k] = v.fifos[k][1:]
+			}
+			v.fifos[k] = append(v.fifos[k], key)
+		}
+		v.tables[k][key] = delta
+	}
+	st.history = append(st.history, delta)
+	if len(st.history) > v.cfg.HistoryLen {
+		st.history = st.history[1:]
+	}
+
+	// Predict: walk a chain, each step matched with the longest available
+	// history.
+	out := make([]uint64, 0, v.cfg.Degree)
+	hist := append([]int64(nil), st.history...)
+	block := acc.Block
+	for i := 0; i < v.cfg.Degree; i++ {
+		next, ok := v.lookup(hist)
+		if !ok {
+			break
+		}
+		t := int64(block) + next
+		if t < 0 {
+			break
+		}
+		block = uint64(t)
+		out = append(out, block)
+		hist = append(hist, next)
+		if len(hist) > v.cfg.HistoryLen {
+			hist = hist[1:]
+		}
+	}
+	return out
+}
+
+// lookup returns the predicted next delta for the longest matching history.
+func (v *VLDP) lookup(hist []int64) (int64, bool) {
+	for k := min(v.cfg.HistoryLen, len(hist)) - 1; k >= 0; k-- {
+		key := historyKey(hist[len(hist)-k-1:])
+		if d, ok := v.tables[k][key]; ok {
+			return d, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpgraph/internal/trace"
+)
+
+func BenchmarkEngineNoPrefetch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := make([]trace.Access, 100_000)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(rng.Intn(1<<24)) * 64, Core: uint8(i % 4), Gap: 3}
+	}
+	b.SetBytes(int64(len(tr)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(DefaultConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(tr)
+	}
+}
+
+func BenchmarkCacheLookupInsert(b *testing.B) {
+	c, _ := NewCache("bench", 2048, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := uint64(i) % (1 << 16)
+		if hit, _, _ := c.Lookup(block, true); !hit {
+			c.Insert(block, false, 0)
+		}
+	}
+}

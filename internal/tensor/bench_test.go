@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGEMM64(b *testing.B)  { benchGEMM(b, 64) }
+func BenchmarkGEMM128(b *testing.B) { benchGEMM(b, 128) }
+func BenchmarkGEMM256(b *testing.B) { benchGEMM(b, 256) }
+
+func benchGEMM(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(n, n, 1, rng)
+	y := Randn(n, n, 1, rng)
+	b.SetBytes(int64(n * n * n * 2 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(64, 256, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x)
+	}
+}
+
+func BenchmarkBackwardMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w1 := Randn(32, 64, 0.1, rng).Param()
+	w2 := Randn(64, 16, 0.1, rng).Param()
+	x := Randn(8, 32, 1, rng)
+	targets := make([]float64, 8*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := MSE(MatMul(ReLU(MatMul(x, w1)), w2), targets)
+		if err := loss.Backward(); err != nil {
+			b.Fatal(err)
+		}
+		w1.ZeroGrad()
+		w2.ZeroGrad()
+	}
+}

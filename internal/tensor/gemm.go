@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the flop count above which GEMM fans out across
+// goroutines; small model matrices stay single-threaded to avoid overhead.
+const gemmParallelThreshold = 1 << 18
+
+// gemm computes out += a@b with a [m x k] row-major, b [k x n] row-major.
+// out must be zeroed (callers allocate fresh) or hold a partial sum that the
+// product should accumulate into (gradient accumulation relies on +=).
+func gemm(out, a, b []float64, m, k, n int) {
+	body := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(body, m, m*k*n)
+}
+
+// gemmNT computes out += a@b^T with a [m x k], b [n x k] (so b^T is [k x n]).
+func gemmNT(out, a, b []float64, m, k, n int) {
+	body := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				s := 0.0
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				orow[j] += s
+			}
+		}
+	}
+	parallelRows(body, m, m*k*n)
+}
+
+// gemmTN computes out += a^T@b with a [r x m], b [r x n] (so a^T is [m x r]).
+func gemmTN(out, a, b []float64, m, r, n int) {
+	// Parallelising over output rows of a^T@b needs strided reads of a;
+	// gradient matrices are small, so a simple accumulation loop is fine,
+	// parallelised over the shared dimension chunks only when large.
+	if m*r*n < gemmParallelThreshold {
+		for p := 0; p < r; p++ {
+			arow := a[p*m : (p+1)*m]
+			brow := b[p*n : (p+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
+	body := func(i0, i1 int) {
+		for p := 0; p < r; p++ {
+			arow := a[p*m : (p+1)*m]
+			brow := b[p*n : (p+1)*n]
+			for i := i0; i < i1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(body, m, m*r*n)
+}
+
+// parallelRows splits [0,rows) across workers when the flop estimate is
+// large enough.
+func parallelRows(body func(r0, r1 int), rows, flops int) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < gemmParallelThreshold || workers <= 1 || rows < 2*workers {
+		body(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+// Package tensor implements the dense float64 matrix type and reverse-mode
+// automatic differentiation the neural-network stack is built on. It is a
+// deliberate stdlib-only substitute for the PyTorch/TensorFlow substrate the
+// paper's models assume (DESIGN.md §2): every op used by AMMA, the LSTM and
+// attention baselines — matmul, softmax, attention fusion, embedding lookup,
+// the losses — is implemented here with a hand-written backward pass and
+// verified by numerical gradient checking in the tests.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+)
+
+// gradDisabled gates graph construction (inverted so the zero value means
+// "grad on"). Inference hot paths (prefetchers running inside the
+// simulator, possibly many simulations in parallel) disable it to avoid
+// building tapes; the flag is atomic so concurrent inference goroutines may
+// toggle it idempotently.
+var gradDisabled atomic.Bool
+
+// SetGradEnabled toggles autograd graph construction and returns the
+// previous value. Each individual training or inference pass is
+// single-goroutine; concurrent passes must agree on the mode (the
+// experiment runner trains everything first, then runs inference-only
+// simulations in parallel).
+func SetGradEnabled(v bool) bool {
+	return !gradDisabled.Swap(!v)
+}
+
+// GradEnabled reports whether autograd graph construction is on.
+func GradEnabled() bool { return !gradDisabled.Load() }
+
+// Tensor is a 2-D row-major matrix participating in reverse-mode autodiff.
+// (All models in this repository operate on [sequence x features] or
+// [features x features] matrices; higher ranks are unnecessary.)
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+	// Grad accumulates d(loss)/d(this); allocated on demand.
+	Grad []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backward     func()
+}
+
+// New creates a Rows x Cols tensor backed by data (taken over, not copied).
+func New(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %dx%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Zeros creates a zero-filled tensor.
+func Zeros(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Randn creates a tensor of N(0, scale²) entries.
+func Randn(rows, cols int, scale float64, rng *rand.Rand) *Tensor {
+	t := Zeros(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * scale
+	}
+	return t
+}
+
+// Param marks t as a trainable parameter (gradients accumulate).
+func (t *Tensor) Param() *Tensor {
+	t.requiresGrad = true
+	return t
+}
+
+// RequiresGrad reports whether t participates in gradients.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// At returns element (r,c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set assigns element (r,c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Clone returns a detached deep copy (no graph edges).
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.Data))
+	copy(d, t.Data)
+	return New(t.Rows, t.Cols, d)
+}
+
+// ensureGrad allocates the gradient buffer.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// newResult wires an op result into the graph.
+func newResult(rows, cols int, parents []*Tensor, backward func()) *Tensor {
+	out := Zeros(rows, cols)
+	if gradDisabled.Load() {
+		return out
+	}
+	for _, p := range parents {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad {
+		out.parents = parents
+		out.backward = backward
+	}
+	return out
+}
+
+// Backward runs reverse-mode autodiff from t, which must be 1x1 (a scalar
+// loss). Gradients accumulate into every reachable tensor with
+// requiresGrad.
+func (t *Tensor) Backward() error {
+	if t.Rows != 1 || t.Cols != 1 {
+		return fmt.Errorf("tensor: Backward needs a scalar, got %dx%d", t.Rows, t.Cols)
+	}
+	if !t.requiresGrad {
+		return fmt.Errorf("tensor: Backward on a tensor with no graph")
+	}
+	// Topological order via iterative DFS.
+	var order []*Tensor
+	visited := map[*Tensor]bool{}
+	type frame struct {
+		n    *Tensor
+		next int
+	}
+	stack := []frame{{n: t}}
+	visited[t] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.n.parents) {
+			p := f.n.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{n: p})
+			}
+			continue
+		}
+		order = append(order, f.n)
+		stack = stack[:len(stack)-1]
+	}
+	t.ensureGrad()
+	t.Grad[0] = 1
+	// order is already reverse-topological leaves-first; walk from the end
+	// (root) backwards.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil {
+			n.backward()
+		}
+	}
+	return nil
+}
+
+// Detach returns a view sharing Data but cut from the graph.
+func (t *Tensor) Detach() *Tensor {
+	return &Tensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols)
+}
+
+// MaxAbs returns the largest absolute entry (used in tests and quantization).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,77 @@
+package trace
+
+import "math/rand"
+
+// Interleave merges per-core access streams into one shared-LLC order. The
+// paper's challenge #2 is that "parallel executions under multi-core systems
+// introduce randomness and irregularity"; this merge models it: cores make
+// progress in bursts (geometric run lengths) rather than strict round-robin,
+// so the LLC sees interleaved instruction streams from different cores.
+//
+// The merge keeps each core's internal order (program order is preserved
+// per core) and is deterministic for a given seed.
+func Interleave(streams [][]Access, meanBurst int, seed int64) []Access {
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]int, len(streams))
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Access, 0, total)
+	live := 0
+	for _, s := range streams {
+		if len(s) > 0 {
+			live++
+		}
+	}
+	for live > 0 {
+		// Pick a random live core, weighted by remaining work so long
+		// streams do not starve at the tail.
+		c := pickLive(rng, streams, pos)
+		// Burst length ~ Geometric(1/meanBurst).
+		burst := 1
+		for rng.Float64() < 1-1/float64(meanBurst) {
+			burst++
+		}
+		for i := 0; i < burst && pos[c] < len(streams[c]); i++ {
+			a := streams[c][pos[c]]
+			a.Core = uint8(c)
+			out = append(out, a)
+			pos[c]++
+		}
+		if pos[c] >= len(streams[c]) {
+			live = 0
+			for ci, s := range streams {
+				if pos[ci] < len(s) {
+					live++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func pickLive(rng *rand.Rand, streams [][]Access, pos []int) int {
+	remaining := 0
+	for c, s := range streams {
+		remaining += len(s) - pos[c]
+	}
+	r := rng.Intn(remaining)
+	for c, s := range streams {
+		left := len(s) - pos[c]
+		if r < left {
+			return c
+		}
+		r -= left
+	}
+	// Unreachable when remaining > 0.
+	for c, s := range streams {
+		if pos[c] < len(s) {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const traceMagic = 0x4d505452 // "MPTR"
+
+// Write serialises a trace in a compact little-endian binary format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := binary.Write(bw, binary.LittleEndian, uint64(traceMagic)); err != nil {
+		return err
+	}
+	for _, s := range []string{t.App, t.Framework} {
+		if err := writeString(bw, s); err != nil {
+			return err
+		}
+	}
+	hdr := []uint64{uint64(t.NumPhases), uint64(len(t.IterationStarts)), uint64(len(t.Accesses))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.IterationStarts {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(s)); err != nil {
+			return err
+		}
+	}
+	for _, a := range t.Accesses {
+		var flags uint8
+		if a.Write {
+			flags = 1
+		}
+		rec := [2]uint64{a.Addr, a.PC}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, [4]uint8{a.Core, a.Phase, a.Gap, flags}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	t := &Trace{}
+	var err error
+	if t.App, err = readString(br); err != nil {
+		return nil, err
+	}
+	if t.Framework, err = readString(br); err != nil {
+		return nil, err
+	}
+	var numPhases, numIters, numAcc uint64
+	for _, p := range []*uint64{&numPhases, &numIters, &numAcc} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if numIters > 1<<24 || numAcc > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible header iters=%d accesses=%d", numIters, numAcc)
+	}
+	t.NumPhases = int(numPhases)
+	t.IterationStarts = make([]int, numIters)
+	for i := range t.IterationStarts {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		t.IterationStarts[i] = int(v)
+	}
+	t.Accesses = make([]Access, numAcc)
+	for i := range t.Accesses {
+		var rec [2]uint64
+		var meta [4]uint8
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &meta); err != nil {
+			return nil, err
+		}
+		t.Accesses[i] = Access{Addr: rec[0], PC: rec[1], Core: meta[0], Phase: meta[1], Gap: meta[2], Write: meta[3]&1 != 0}
+	}
+	return t, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

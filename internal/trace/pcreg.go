@@ -1,0 +1,44 @@
+package trace
+
+// PCRegistry assigns stable program-counter values to named static code
+// sites. Real instrumentation (Intel Pin in the paper) reports the
+// instruction address of each load/store; here every framework code site —
+// "gpop.scatter.readVertex", "powergraph.gather.readEdge", ... — receives a
+// fixed synthetic text address. Sites registered while a given phase is
+// active land in that phase's code range, reproducing the PC↔phase
+// clustering of Fig. 2b.
+type PCRegistry struct {
+	base  uint64
+	step  uint64
+	sites map[string]uint64
+	order []string
+}
+
+// NewPCRegistry creates a registry with code starting at base.
+func NewPCRegistry(base uint64) *PCRegistry {
+	return &PCRegistry{base: base, step: 0x40, sites: make(map[string]uint64)}
+}
+
+// PC returns the program counter for site, allocating one on first use.
+func (r *PCRegistry) PC(site string) uint64 {
+	if pc, ok := r.sites[site]; ok {
+		return pc
+	}
+	pc := r.base + uint64(len(r.order))*r.step
+	r.sites[site] = pc
+	r.order = append(r.order, site)
+	return pc
+}
+
+// Site returns the name registered for pc, or "".
+func (r *PCRegistry) Site(pc uint64) string {
+	for name, p := range r.sites {
+		if p == pc {
+			return name
+		}
+	}
+	return ""
+}
+
+// NumSites reports how many distinct code sites have been registered.
+func (r *PCRegistry) NumSites() int { return len(r.order) }

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PhaseSummary aggregates one phase's access behaviour across a trace.
+type PhaseSummary struct {
+	Phase       uint8
+	Accesses    int
+	Writes      int
+	UniquePages int
+	UniquePCs   int
+	// WideJumpFraction is the fraction of consecutive same-phase accesses
+	// whose pages differ by more than 8 (the Fig. 3 signal).
+	WideJumpFraction float64
+}
+
+// Summary describes a whole trace.
+type Summary struct {
+	App, Framework string
+	Accesses       int
+	Iterations     int
+	UniqueBlocks   int
+	UniquePages    int
+	Cores          int
+	Phases         []PhaseSummary
+}
+
+// Summarize scans the trace once and aggregates per-phase statistics.
+func Summarize(t *Trace) Summary {
+	s := Summary{
+		App:        t.App,
+		Framework:  t.Framework,
+		Accesses:   len(t.Accesses),
+		Iterations: t.NumIterations(),
+	}
+	blocks := map[uint64]bool{}
+	pages := map[uint64]bool{}
+	cores := map[uint8]bool{}
+	type phaseAgg struct {
+		accesses, writes, jumps, steps int
+		pages                          map[uint64]bool
+		pcs                            map[uint64]bool
+		lastPage                       uint64
+		havePrev                       bool
+	}
+	byPhase := map[uint8]*phaseAgg{}
+	for _, a := range t.Accesses {
+		blocks[Block(a.Addr)] = true
+		page := Page(a.Addr)
+		pages[page] = true
+		cores[a.Core] = true
+		agg, ok := byPhase[a.Phase]
+		if !ok {
+			agg = &phaseAgg{pages: map[uint64]bool{}, pcs: map[uint64]bool{}}
+			byPhase[a.Phase] = agg
+		}
+		agg.accesses++
+		if a.Write {
+			agg.writes++
+		}
+		agg.pages[page] = true
+		agg.pcs[a.PC] = true
+		if agg.havePrev {
+			agg.steps++
+			j := int64(page) - int64(agg.lastPage)
+			if j > 8 || j < -8 {
+				agg.jumps++
+			}
+		}
+		agg.lastPage = page
+		agg.havePrev = true
+	}
+	s.UniqueBlocks = len(blocks)
+	s.UniquePages = len(pages)
+	s.Cores = len(cores)
+	phaseIDs := make([]int, 0, len(byPhase))
+	for p := range byPhase {
+		phaseIDs = append(phaseIDs, int(p))
+	}
+	sort.Ints(phaseIDs)
+	for _, p := range phaseIDs {
+		agg := byPhase[uint8(p)]
+		ps := PhaseSummary{
+			Phase:       uint8(p),
+			Accesses:    agg.accesses,
+			Writes:      agg.writes,
+			UniquePages: len(agg.pages),
+			UniquePCs:   len(agg.pcs),
+		}
+		if agg.steps > 0 {
+			ps.WideJumpFraction = float64(agg.jumps) / float64(agg.steps)
+		}
+		s.Phases = append(s.Phases, ps)
+	}
+	return s
+}
+
+// Print writes a human-readable report.
+func (s Summary) Print(w io.Writer) {
+	fmt.Fprintf(w, "trace %s/%s: %d accesses, %d iterations, %d cores\n",
+		s.Framework, s.App, s.Accesses, s.Iterations, s.Cores)
+	fmt.Fprintf(w, "footprint: %d blocks (%.1f MB), %d pages\n",
+		s.UniqueBlocks, float64(s.UniqueBlocks)*64/1e6, s.UniquePages)
+	for _, p := range s.Phases {
+		fmt.Fprintf(w, "  phase %d: %8d accesses (%4.1f%% writes), %6d pages, %3d PCs, wide jumps %.1f%%\n",
+			p.Phase, p.Accesses, 100*float64(p.Writes)/float64(max(p.Accesses, 1)),
+			p.UniquePages, p.UniquePCs, 100*p.WideJumpFraction)
+	}
+}

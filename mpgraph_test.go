@@ -1,0 +1,98 @@
+package mpgraph
+
+import (
+	"testing"
+
+	"mpgraph/internal/experiments"
+	"mpgraph/internal/frameworks"
+	"mpgraph/internal/sim"
+)
+
+func tinySystem() *System {
+	opt := DefaultOptions()
+	opt.GraphScale = 9
+	opt.Apps = []App{PR}
+	opt.TraceIterations = 3
+	opt.MaxTestAccesses = 20_000
+	opt.TrainSamples = 100
+	opt.EvalSamples = 40
+	opt.Epochs = 1
+	return New(opt)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := tinySystem()
+	wls := sys.Workloads()
+	if len(wls) != 3 {
+		t.Fatalf("PR-only matrix = %d workloads, want 3", len(wls))
+	}
+	wl := Workload{Framework: "gpop", App: PR, Dataset: "rmat"}
+
+	g, err := sys.Graph("rmat")
+	if err != nil || g.NumVertices != 512 {
+		t.Fatalf("Graph: %v (V=%d)", err, g.NumVertices)
+	}
+
+	tr, res, err := sys.Trace(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Accesses) == 0 || res.Iterations < 2 {
+		t.Fatal("trace pipeline broken")
+	}
+
+	pf, err := sys.TrainMPGraph(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, base, err := sys.Simulate(wl, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IPC() <= 0 || base.IPC() <= 0 {
+		t.Fatal("simulation produced no IPC")
+	}
+	if m.PrefetchesIssued == 0 {
+		t.Fatal("MPGraph issued nothing")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	sys := tinySystem()
+	wl := Workload{Framework: "gpop", App: PR, Dataset: "rmat"}
+	pfs, err := sys.Baselines(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bo", "isb", "delta-lstm", "voyager", "transfetch", "mpgraph"}
+	if len(pfs) != len(want) {
+		t.Fatalf("got %d baselines", len(pfs))
+	}
+	for i, pf := range pfs {
+		if pf.Name() != want[i] {
+			t.Fatalf("baseline %d = %q, want %q", i, pf.Name(), want[i])
+		}
+	}
+	// The façade types really are the internal types (compile-time check).
+	var _ sim.Prefetcher = pfs[0]
+	var _ experiments.Options = sys.runner.Opt
+	var _ App = frameworks.PR
+}
+
+func TestFacadeCustomControllerOptions(t *testing.T) {
+	sys := tinySystem()
+	wl := Workload{Framework: "gpop", App: PR, Dataset: "rmat"}
+	opt := DefaultControllerOptions()
+	opt.TemporalDegree = 0 // spatial-only ablation via the façade
+	pf, err := sys.TrainMPGraphWithOptions(wl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := sys.Simulate(wl, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PrefetchesIssued == 0 {
+		t.Fatal("spatial-only variant issued nothing")
+	}
+}
