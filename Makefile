@@ -1,0 +1,32 @@
+# Tier-1 is one command: `make` runs build, the static-analysis gate, and
+# the test suite — the same three steps CI runs (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet lint test race ci
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint runs the full static-analysis gate: the standard `go vet` passes
+# (delegated by mpgraph-vet) plus the five MPGraph analyzers — seededrand,
+# errdrop, floateq, panicpolicy, addrhelpers. See DESIGN.md §7.
+lint:
+	$(GO) run ./cmd/mpgraph-vet ./...
+
+# vet runs only the standard passes (lint is a superset).
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race is the determinism/concurrency gate. The heavy experiment tests
+# shrink themselves under the detector (see experiments/race_on_test.go);
+# the timeout covers the ~10x instrumentation slowdown on model training.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+ci: build lint test race

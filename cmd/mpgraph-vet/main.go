@@ -1,0 +1,115 @@
+// Command mpgraph-vet is the project's static-analysis gate: it chains the
+// standard `go vet` passes with the five MPGraph-specific analyzers
+// (seededrand, errdrop, floateq, panicpolicy, addrhelpers) and exits
+// non-zero on any finding. It is part of tier-1: CI runs it on every push
+// (.github/workflows/ci.yml), and `make lint` runs it locally.
+//
+// Usage:
+//
+//	go run ./cmd/mpgraph-vet [-novet] [-list] [patterns...]
+//
+// Patterns default to ./... and accept the usual ./dir/... forms relative
+// to the module root. -novet skips the delegated `go vet` run (useful when
+// iterating on one analyzer); -list prints the analyzer roster and exits.
+//
+// Findings are suppressed per line by a trailing
+// "//mpgraph:allow name[,name] -- reason" directive; the reason is
+// mandatory. See DESIGN.md's "Static analysis" section for the invariants
+// each analyzer encodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"mpgraph/internal/analysis"
+	"mpgraph/internal/analysis/passes/addrhelpers"
+	"mpgraph/internal/analysis/passes/errdrop"
+	"mpgraph/internal/analysis/passes/floateq"
+	"mpgraph/internal/analysis/passes/panicpolicy"
+	"mpgraph/internal/analysis/passes/seededrand"
+)
+
+var suite = []*analysis.Analyzer{
+	addrhelpers.Analyzer,
+	errdrop.Analyzer,
+	floateq.Analyzer,
+	panicpolicy.Analyzer,
+	seededrand.Analyzer,
+}
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the delegated `go vet` run")
+	list := flag.Bool("list", false, "print the analyzer roster and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if !*novet {
+		vet := exec.Command("go", "vet")
+		vet.Args = append(vet.Args, patterns...)
+		vet.Dir = root
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
+		os.Exit(2)
+	}
+	n, err := analysis.RunAnalyzers(pkgs, suite, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
+		os.Exit(2)
+	}
+	if n > 0 || failed {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,147 @@
+// Package analysis is a self-contained reimplementation of the subset of
+// golang.org/x/tools/go/analysis that mpgraph-vet needs, built on the
+// standard library only (go/ast, go/types, go/importer). The repository is
+// dependency-free by policy, so rather than vendoring x/tools the suite
+// mirrors its Analyzer/Pass/Diagnostic API closely enough that the five
+// MPGraph analyzers could be ported to the real framework by changing
+// imports.
+//
+// Two project-specific extensions:
+//
+//   - Analyzer.Match lets the driver scope an analyzer to a subset of
+//     package paths (x/tools expresses this inside each analyzer; keeping it
+//     in the driver lets analysistest fixtures use short package names).
+//   - Suppression directives: a trailing comment of the form
+//     "//mpgraph:allow name[,name...] -- reason" silences the named
+//     analyzers for that source line. The reason is mandatory by
+//     convention: a bare allow reads as noise, an explained one as a
+//     documented decision.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mpgraph:allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by mpgraph-vet -help.
+	Doc string
+	// Match optionally restricts which package paths the driver runs this
+	// analyzer on. nil means every package. analysistest ignores Match so
+	// fixtures can live in packages named "a" and "b".
+	Match func(pkgPath string) bool
+	// Run performs the check, reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf records a finding at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewPass assembles a Pass that appends findings to out; the driver and the
+// analysistest harness both build passes through it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, out *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    func(d Diagnostic) { *out = append(*out, d) },
+	}
+}
+
+// allowRE matches suppression directives. The directive must carry a reason
+// after " -- " so every silenced finding documents why.
+var allowRE = regexp.MustCompile(`//mpgraph:allow ([a-z,]+) -- \S`)
+
+// Suppressions indexes //mpgraph:allow directives: file:line -> set of
+// analyzer names silenced on that line.
+type Suppressions map[string]map[string]bool
+
+// CollectSuppressions scans the files' comments for allow directives.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
+	sup := Suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if sup[key] == nil {
+					sup[key] = map[string]bool{}
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					sup[key][name] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Allowed reports whether the named analyzer is suppressed at pos.
+func (s Suppressions) Allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	return s[key][name]
+}
+
+// Filter drops suppressed diagnostics and sorts the rest by file position.
+func Filter(fset *token.FileSet, diags []Diagnostic, sup Suppressions) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.Allowed(fset, d.Pos, d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,156 @@
+// Package analysistest is the fixture-driven test harness for mpgraph's
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest: fixture
+// packages live under testdata/src/<pkg>/, and lines that should trigger a
+// finding carry a trailing comment of the form
+//
+//	expr // want "regexp"
+//
+// (several "..." patterns on one line expect several findings). The harness
+// type-checks each fixture against the standard library with a source
+// importer, runs the analyzer, applies //mpgraph:allow suppression exactly
+// as the driver does, and diffs findings against expectations. Analyzer
+// Match functions are deliberately ignored so fixtures can use short
+// package names.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/analysis"
+)
+
+// wantRE matches one or more double- or backtick-quoted patterns after
+// "// want".
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+// quotedRE extracts the individual quoted patterns from a want clause.
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run checks the analyzer against every named fixture package under
+// testdata/src.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		runPackage(t, dir, pkg, a)
+	}
+}
+
+func runPackage(t *testing.T, dir, name string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", name, dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", name, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, files, tpkg, info, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, name, err)
+	}
+	sup := analysis.CollectSuppressions(fset, files)
+	got := map[string][]string{} // file:line -> messages
+	for _, d := range analysis.Filter(fset, diags, sup) {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+
+	want := wantComments(t, fset, files)
+	for key, patterns := range want {
+		msgs := got[key]
+		if len(msgs) != len(patterns) {
+			t.Errorf("%s: want %d finding(s) %q, got %q", key, len(patterns), patterns, msgs)
+			continue
+		}
+		for i, pat := range patterns {
+			rx, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+			}
+			if !rx.MatchString(msgs[i]) {
+				t.Errorf("%s: finding %q does not match want %q", key, msgs[i], pat)
+			}
+		}
+	}
+	for key, msgs := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unexpected finding(s) %q", key, msgs)
+		}
+	}
+}
+
+// wantComments extracts want expectations: file:line -> regexp patterns.
+func wantComments(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]string {
+	t.Helper()
+	want := map[string][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					want[key] = append(want[key], unquote(q))
+				}
+			}
+		}
+	}
+	return want
+}
+
+func unquote(q string) string {
+	body := q[1 : len(q)-1]
+	if q[0] == '`' {
+		return body
+	}
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+		}
+		out.WriteByte(body[i])
+	}
+	return out.String()
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAnalyzers applies every analyzer (honouring Match) to every package,
+// filters //mpgraph:allow-suppressed findings, prints the rest to w in
+// file:line:col style, and returns the number of findings printed.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, error) {
+	total := 0
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, &diags)
+			if err := a.Run(pass); err != nil {
+				return total, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		if len(diags) == 0 {
+			continue
+		}
+		sup := CollectSuppressions(pkg.Fset, pkg.Files)
+		for _, d := range Filter(pkg.Fset, diags, sup) {
+			fmt.Fprintf(w, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path, e.g. "mpgraph/internal/sim"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses, and type-checks the module's packages using a
+// source importer, so no compiled export data or external tooling is
+// required. Standard-library imports are delegated to go/importer's
+// "source" compiler; intra-module imports are resolved against the module
+// root and type-checked recursively with memoisation.
+type Loader struct {
+	Fset *token.FileSet
+
+	root    string // module root directory (holds go.mod)
+	modpath string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modpath: mod,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer for the type-checker: module-internal
+// paths load recursively, everything else goes to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load resolves patterns ("./...", "./internal/...", or plain package
+// directories relative to the module root) into loaded packages.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." {
+			pat = "./"
+		}
+		base := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			// An explicitly named package must exist and contain Go files;
+			// silently matching nothing would let a CI typo pass as clean.
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("package pattern %q matches no Go package", pat)
+			}
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// Skip testdata (fixture sources are not part of the build),
+			// hidden directories, and nested modules.
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modpath, nil
+	}
+	return l.modpath + "/" + filepath.ToSlash(rel), nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks one module package (non-test files only),
+// memoised by import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.modpath {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modpath+"/")))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,12 @@
+package addrhelpers_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/addrhelpers"
+)
+
+func TestAddrHelpers(t *testing.T) {
+	analysistest.Run(t, "testdata", addrhelpers.Analyzer, "a", "b")
+}

@@ -1,0 +1,30 @@
+// Package a is the positive fixture for addrhelpers.
+package a
+
+func blockOf(addr uint64) uint64 {
+	return addr >> 6 // want `raw address geometry arithmetic \(>> 6 = BlockBits\)`
+}
+
+func pageOf(addr uint64) uint64 {
+	return addr >> 12 // want `raw address geometry arithmetic \(>> 12 = PageBits\)`
+}
+
+func blockAddr(block uint64) uint64 {
+	return block << 6 // want `raw address geometry arithmetic \(<< 6 = BlockBits\)`
+}
+
+func blockOffset(block uint64) uint64 {
+	return block & 63 // want `raw address geometry arithmetic \(& 63 = block offset mask\)`
+}
+
+func pageAlign(addr uint64) uint64 {
+	return addr &^ 4095 // want `raw address geometry arithmetic \(&\^ 4095 = page offset mask\)`
+}
+
+func maskOnLeft(addr uint64) uint64 {
+	return 63 & addr // want `raw address geometry arithmetic \(& 63 = block offset mask\)`
+}
+
+func packedKeyJustified(pc, offset uint64) uint64 {
+	return pc<<6 ^ offset //mpgraph:allow addrhelpers -- fixture: packs a 6-bit table key, not address geometry
+}

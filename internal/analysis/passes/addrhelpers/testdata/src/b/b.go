@@ -1,0 +1,16 @@
+// Package b is the negative fixture for addrhelpers: constant folding,
+// non-geometry shifts, variable shift amounts, and narrower integer types
+// trigger nothing.
+package b
+
+const tableSize = 1 << 12 // constant-folded: both operands constant
+
+func hashFold(x uint64) uint64 { return x ^ x>>33 }
+
+func variableShift(x uint64, bits uint) uint64 { return x >> bits }
+
+func narrowType(x uint32) uint32 { return x >> 6 }
+
+func powerOfTwoCheck(n int) bool { return n&(n-1) == 0 }
+
+func lowBits(x uint64) uint64 { return x & 0xFF }

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "a", "b")
+}

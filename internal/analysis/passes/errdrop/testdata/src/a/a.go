@@ -1,0 +1,35 @@
+// Package a is the positive fixture for errdrop.
+package a
+
+import (
+	"os"
+	"strconv"
+)
+
+func twoResults() (bool, error) { return true, nil }
+
+func threeResults() (bool, uint64, bool) { return false, 0, false }
+
+func dropsError() {
+	os.Remove("scratch") // want `error result of os.Remove is dropped`
+}
+
+func discardsIntoBlank() int {
+	v, _ := strconv.Atoi("7") // want `error result of strconv.Atoi is discarded into _`
+	return v
+}
+
+func multiBlankDiscard() bool {
+	hit, _, _ := threeResults() // want `2 of 3 results of threeResults are discarded`
+	return hit
+}
+
+func justifiedDiscard() bool {
+	hit, _, _ := threeResults() //mpgraph:allow errdrop -- fixture: demand probe, victim bookkeeping handled by caller
+	return hit
+}
+
+func parallelBlank() {
+	_, err := twoResults()
+	_ = err // want `error value is discarded into _`
+}

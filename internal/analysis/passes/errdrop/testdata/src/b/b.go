@@ -1,0 +1,31 @@
+// Package b is the negative fixture for errdrop: handled errors, exempt
+// print/builder calls, and single non-error discards trigger nothing.
+package b
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func handled() error {
+	if err := os.Remove("scratch"); err != nil {
+		return err
+	}
+	v, err := strconv.Atoi("7")
+	if err != nil {
+		return err
+	}
+	fmt.Println(v) // fmt print family is exempt
+	var sb strings.Builder
+	sb.WriteString("in-memory writers are exempt")
+	return nil
+}
+
+func pairs() (int, bool) { return 0, false }
+
+func singleNonErrorDiscard() int {
+	n, _ := pairs()
+	return n
+}

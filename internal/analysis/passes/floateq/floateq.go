@@ -1,0 +1,98 @@
+// Package floateq flags == and != between floating-point operands in the
+// numeric packages (internal/models, internal/nn, internal/tensor), where
+// metric comparisons must use tolerances: accuracy/coverage numbers that
+// hinge on exact float equality silently change across compiler versions
+// and refactorings (fused multiply-add, summation order).
+//
+// Two idioms are exempt because they are exact by construction:
+//
+//   - comparison against the literal constant 0 (sparsity fast paths,
+//     "option unset" defaults);
+//   - x != x / x == x on the syntactically identical expression (the NaN
+//     test).
+//
+// Anything else needs an epsilon, or a documented
+// //mpgraph:allow floateq -- <reason> directive (e.g. exact tie-breaking in
+// a deterministic sort).
+package floateq
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"mpgraph/internal/analysis"
+)
+
+// numericPackages are the packages where float comparisons are policed.
+var numericPackages = map[string]bool{
+	"mpgraph/internal/models": true,
+	"mpgraph/internal/nn":     true,
+	"mpgraph/internal/tensor": true,
+}
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "floateq",
+	Doc:   "flag exact ==/!= between floats in the numeric packages; compare with tolerances",
+	Match: func(path string) bool { return numericPackages[path] },
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if sameExpr(pass, be.X, be.Y) {
+				return true // NaN idiom
+			}
+			pass.Reportf(be.OpPos, "exact float comparison (%s): use a tolerance or justify with //mpgraph:allow floateq -- <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Float64Val(tv.Value)
+	return ok && v == 0
+}
+
+// sameExpr reports whether two expressions have identical source form (the
+// x != x NaN check).
+func sameExpr(pass *analysis.Pass, a, b ast.Expr) bool {
+	return exprString(pass.Fset, a) == exprString(pass.Fset, b)
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "a", "b")
+}

@@ -1,0 +1,18 @@
+// Package a is the positive fixture for floateq.
+package a
+
+func converged(loss, prev float64) bool {
+	return loss == prev // want `exact float comparison \(==\)`
+}
+
+func drifted(a, b float32) bool {
+	return a != b // want `exact float comparison \(!=\)`
+}
+
+func mixedExpr(xs []float64, i int) bool {
+	return xs[i] == xs[i+1] // want `exact float comparison \(==\)`
+}
+
+func tieBreakJustified(a, b float64) bool {
+	return a == b //mpgraph:allow floateq -- fixture: exact tie-break keeps sort deterministic
+}

@@ -1,0 +1,20 @@
+// Package b is the negative fixture for floateq: zero sentinels, the NaN
+// idiom, tolerance comparisons, and integer equality trigger nothing.
+package b
+
+import "math"
+
+func sparseSkip(av float64) bool { return av == 0 }
+
+func unsetDefault(lr float64) float64 {
+	if lr == 0 {
+		return 1e-3
+	}
+	return lr
+}
+
+func isNaN(x float64) bool { return x != x }
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func intEq(a, b int) bool { return a == b }

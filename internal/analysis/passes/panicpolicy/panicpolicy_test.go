@@ -1,0 +1,12 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/panicpolicy"
+)
+
+func TestPanicPolicy(t *testing.T) {
+	analysistest.Run(t, "testdata", panicpolicy.Analyzer, "a", "b")
+}

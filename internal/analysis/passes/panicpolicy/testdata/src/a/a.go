@@ -1,0 +1,34 @@
+// Package a is the positive fixture for panicpolicy.
+package a
+
+import "fmt"
+
+func rawPanic(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic outside an mpgraph:invariant helper`
+	}
+	return n
+}
+
+func panicOnError(err error) {
+	if err != nil {
+		panic(err) // want `panic outside an mpgraph:invariant helper`
+	}
+}
+
+// failf is this package's designated invariant helper.
+//
+// mpgraph:invariant
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+func usesHelper(rows, cols, n int) {
+	if rows*cols != n {
+		failf("shape %dx%d != %d", rows, cols, n)
+	}
+}
+
+func justified() {
+	panic("unreachable") //mpgraph:allow panicpolicy -- fixture: switch is exhaustive over a closed enum
+}

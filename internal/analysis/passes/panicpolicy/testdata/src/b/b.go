@@ -1,0 +1,33 @@
+// Package b is the negative fixture for panicpolicy: typed errors, invariant
+// helpers, and a shadowed panic identifier trigger nothing.
+package b
+
+import "errors"
+
+var errNegative = errors.New("negative input")
+
+func checked(n int) (int, error) {
+	if n < 0 {
+		return 0, errNegative
+	}
+	return n, nil
+}
+
+// violated reports a broken internal invariant.
+//
+// mpgraph:invariant
+func violated(msg string) {
+	panic("invariant: " + msg)
+}
+
+func dispatch(phase, n int) int {
+	if n == 0 {
+		violated("no models")
+	}
+	return phase % n
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

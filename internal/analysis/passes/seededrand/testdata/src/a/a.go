@@ -1,0 +1,24 @@
+// Package a is the positive fixture for seededrand.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() int {
+	rand.Seed(42)       // want `global math/rand\.Seed`
+	n := rand.Intn(10)  // want `global math/rand\.Intn`
+	f := rand.Float64() // want `global math/rand\.Float64`
+	return n + int(f)
+}
+
+func wallClockSeed() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `time.Now\(\)-derived seed`
+	return rand.New(src)
+}
+
+// explicitSeed is the sanctioned pattern: no findings.
+func explicitSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

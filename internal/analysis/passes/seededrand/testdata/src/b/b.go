@@ -1,0 +1,21 @@
+// Package b is the negative fixture for seededrand: explicitly seeded
+// generators threaded as values, plus unrelated time use, trigger nothing.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sampler struct {
+	rng *rand.Rand
+}
+
+func newSampler(seed int64) *sampler {
+	return &sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sampler) draw(n int) int { return s.rng.Intn(n) }
+
+// elapsed uses time.Now for measurement, not seeding — allowed.
+func elapsed(start time.Time) time.Duration { return time.Now().Sub(start) }

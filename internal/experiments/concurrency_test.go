@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRunnerDataSingleFlight hammers Runner.Data for one workload from many
+// goroutines. All callers must receive the same *WorkloadData (the compute
+// is coalesced, not repeated) and, under -race, the cell mechanism must be
+// clean. This is the regression test for the pipeline cache's
+// mutex-guarded section.
+func TestRunnerDataSingleFlight(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	w := r.Opt.Workloads()[0]
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*WorkloadData, callers)
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = r.Data(w)
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		if results[c] == nil {
+			t.Fatalf("caller %d: nil data", c)
+		}
+		if results[c] != results[0] {
+			t.Fatalf("caller %d received a different *WorkloadData: compute ran more than once", c)
+		}
+	}
+	if len(results[0].TestRaw) == 0 || len(results[0].LLCTrain) == 0 {
+		t.Fatal("workload data incomplete")
+	}
+}

@@ -18,6 +18,16 @@ func tinyOptions() Options {
 	o.TrainSamples = 200
 	o.EvalSamples = 80
 	o.Epochs = 1
+	if raceDetectorEnabled {
+		// The race gate (make race, CI) checks concurrency correctness,
+		// not model quality, and the detector's ~10x slowdown would blow
+		// the go test timeout at full tiny scale. Every pipeline stage
+		// still runs, just on less data.
+		o.GraphScale = 9
+		o.MaxTestAccesses = 10_000
+		o.TrainSamples = 60
+		o.EvalSamples = 30
+	}
 	return o
 }
 

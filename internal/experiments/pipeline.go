@@ -21,8 +21,8 @@ type Runner struct {
 
 	mu     sync.Mutex
 	graphs map[string]*graph.Graph
-	data   map[Workload]*WorkloadData
-	suites map[Workload]*Suite
+	data   map[Workload]*cell[*WorkloadData]
+	suites map[Workload]*cell[*Suite]
 
 	sweepRows  map[string][]prefetchRow
 	sweepOrder []string
@@ -33,9 +33,33 @@ func NewRunner(opt Options) *Runner {
 	return &Runner{
 		Opt:    opt,
 		graphs: map[string]*graph.Graph{},
-		data:   map[Workload]*WorkloadData{},
-		suites: map[Workload]*Suite{},
+		data:   map[Workload]*cell[*WorkloadData]{},
+		suites: map[Workload]*cell[*Suite]{},
 	}
+}
+
+// cell coalesces concurrent computations of one cached artifact: the first
+// caller runs the compute function, every concurrent caller blocks on the
+// same sync.Once and shares the result. This keeps the expensive pipeline
+// stages (framework runs, model training) race-free AND single-flight —
+// without it, two goroutines asking for the same workload both paid the
+// full cost and the last store won.
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// getCell returns (creating if needed) the cell for key in m, under mu.
+func getCell[K comparable, T any](mu *sync.Mutex, m map[K]*cell[T], key K) *cell[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	c, ok := m[key]
+	if !ok {
+		c = &cell[T]{}
+		m[key] = c
+	}
+	return c
 }
 
 // WorkloadData is everything derived from one workload trace.
@@ -73,15 +97,15 @@ func (r *Runner) Graph(name string) (*graph.Graph, error) {
 	return g, nil
 }
 
-// Data returns (computing once) the trace pipeline outputs for w.
+// Data returns (computing once, coalescing concurrent callers) the trace
+// pipeline outputs for w.
 func (r *Runner) Data(w Workload) (*WorkloadData, error) {
-	r.mu.Lock()
-	if d, ok := r.data[w]; ok {
-		r.mu.Unlock()
-		return d, nil
-	}
-	r.mu.Unlock()
+	c := getCell(&r.mu, r.data, w)
+	c.once.Do(func() { c.val, c.err = r.computeData(w) })
+	return c.val, c.err
+}
 
+func (r *Runner) computeData(w Workload) (*WorkloadData, error) {
 	g, err := r.Graph(w.Dataset)
 	if err != nil {
 		return nil, err
@@ -140,9 +164,6 @@ func (r *Runner) Data(w Workload) (*WorkloadData, error) {
 		return nil, fmt.Errorf("experiments: %s LLC streams too short (%d train / %d test)", w, len(d.LLCTrain), len(d.LLCTest))
 	}
 
-	r.mu.Lock()
-	r.data[w] = d
-	r.mu.Unlock()
 	return d, nil
 }
 
@@ -168,15 +189,15 @@ type Suite struct {
 	PSPage   *models.PhaseSpecificPage
 }
 
-// Suite returns (training once) the full model suite for w.
+// Suite returns (training once, coalescing concurrent callers) the full
+// model suite for w.
 func (r *Runner) Suite(w Workload) (*Suite, error) {
-	r.mu.Lock()
-	if s, ok := r.suites[w]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
+	c := getCell(&r.mu, r.suites, w)
+	c.once.Do(func() { c.val, c.err = r.computeSuite(w) })
+	return c.val, c.err
+}
 
+func (r *Runner) computeSuite(w Workload) (*Suite, error) {
 	d, err := r.Data(w)
 	if err != nil {
 		return nil, err
@@ -226,9 +247,6 @@ func (r *Runner) Suite(w Workload) (*Suite, error) {
 		return nil, err
 	}
 
-	r.mu.Lock()
-	r.suites[w] = s
-	r.mu.Unlock()
 	return s, nil
 }
 

@@ -1,0 +1,64 @@
+package frameworks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mpgraph/internal/graph"
+	"mpgraph/internal/trace"
+)
+
+// TestRMATTraceDeterminism is the end-to-end guard behind the seededrand
+// analyzer: the entire trace pipeline — R-MAT generation, framework
+// execution, multi-core interleaving — must be a pure function of its
+// explicit seeds. It generates the same R-MAT workload twice and asserts
+// the resulting traces and their summaries are byte-identical.
+func TestRMATTraceDeterminism(t *testing.T) {
+	generate := func() ([]byte, []byte) {
+		g, err := graph.GenerateRMAT(graph.DefaultRMAT(9, 21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := ByName("gpop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _, err := fw.Run(g, PR, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Serialise every access field so any divergence — address,
+		// ordering, interleaving, phase labelling — flips a byte.
+		var raw bytes.Buffer
+		for _, a := range tr.Accesses {
+			binary.Write(&raw, binary.LittleEndian, a.Addr)
+			binary.Write(&raw, binary.LittleEndian, a.PC)
+			raw.WriteByte(a.Core)
+			raw.WriteByte(a.Phase)
+			raw.WriteByte(a.Gap)
+			if a.Write {
+				raw.WriteByte(1)
+			} else {
+				raw.WriteByte(0)
+			}
+		}
+
+		var stats bytes.Buffer
+		trace.Summarize(tr).Print(&stats)
+		return raw.Bytes(), stats.Bytes()
+	}
+
+	raw1, stats1 := generate()
+	raw2, stats2 := generate()
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(raw1), len(raw2))
+	}
+	if !bytes.Equal(stats1, stats2) {
+		t.Fatalf("same seed produced different stats:\n--- run 1\n%s\n--- run 2\n%s", stats1, stats2)
+	}
+	if len(raw1) == 0 {
+		t.Fatal("empty trace")
+	}
+}

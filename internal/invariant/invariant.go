@@ -1,0 +1,56 @@
+// Package invariant holds the designated panic helpers that the
+// panicpolicy analyzer (internal/analysis/passes/panicpolicy) allows.
+// Library code must surface recoverable failures as typed errors; panics
+// are reserved for provable programmer errors — shape mismatches, impossible
+// states, broken preconditions that no caller input can legitimately
+// produce. Funnelling those panics through this package keeps the
+// "what may crash the process" surface small and greppable, and gives one
+// place to hook crash telemetry later.
+package invariant
+
+import "fmt"
+
+// Failf panics with a formatted invariant-violation message. Call it only
+// when the condition is a programmer error, never for input validation.
+//
+// mpgraph:invariant
+func Failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// Fail panics with msg.
+//
+// mpgraph:invariant
+func Fail(msg string) {
+	panic(msg)
+}
+
+// Check panics with msg unless cond holds.
+//
+// mpgraph:invariant
+func Check(cond bool, msg string) {
+	if !cond {
+		panic(msg)
+	}
+}
+
+// Checkf panics with a formatted message unless cond holds. The arguments
+// are evaluated even when cond holds, so keep them cheap on hot paths (or
+// guard with an explicit if + Failf).
+//
+// mpgraph:invariant
+func Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
+// OnErr panics if err is non-nil, for errors that are impossible by
+// construction (e.g. encoding a value that was just decoded).
+//
+// mpgraph:invariant
+func OnErr(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

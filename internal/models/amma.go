@@ -5,6 +5,7 @@ import (
 
 	"mpgraph/internal/nn"
 	"mpgraph/internal/tensor"
+	"mpgraph/internal/trace"
 )
 
 // DeltaModel is a spatial predictor: multi-label classification over block
@@ -239,7 +240,7 @@ func pcTokens(v *Vocab, pcs []uint64) []int {
 func pageTokens(v *Vocab, blocks []uint64) []int {
 	out := make([]int, len(blocks))
 	for i, b := range blocks {
-		out[i] = v.Token(b >> 6) // block → page (PageBits-BlockBits = 6)
+		out[i] = v.Token(trace.PageOfBlock(b))
 	}
 	return out
 }

@@ -1,8 +1,7 @@
 package models
 
 import (
-	"fmt"
-
+	"mpgraph/internal/invariant"
 	"mpgraph/internal/tensor"
 )
 
@@ -24,7 +23,7 @@ func NewPhaseSpecificDelta(cfg Config, pcs *Vocab, phases int, seed int64) *Phas
 
 func (ps *PhaseSpecificDelta) modelFor(phase int) DeltaModel {
 	if len(ps.Models) == 0 {
-		panic("models: empty PhaseSpecificDelta")
+		invariant.Fail("models: empty PhaseSpecificDelta")
 	}
 	return ps.Models[phase%len(ps.Models)]
 }
@@ -64,7 +63,7 @@ func NewPhaseSpecificPage(cfg Config, pages, pcs *Vocab, phases int, seed int64)
 
 func (ps *PhaseSpecificPage) modelFor(phase int) PageModel {
 	if len(ps.Models) == 0 {
-		panic("models: empty PhaseSpecificPage")
+		invariant.Fail("models: empty PhaseSpecificPage")
 	}
 	return ps.Models[phase%len(ps.Models)]
 }
@@ -83,7 +82,7 @@ func (ps *PhaseSpecificPage) TopPages(s *Sample, k int) []uint64 {
 func (ps *PhaseSpecificPage) PageProbs(s *Sample) []float64 {
 	p, ok := ps.modelFor(s.Phase).(PageProber)
 	if !ok {
-		panic(fmt.Sprintf("models: phase model %T cannot expose probabilities", ps.modelFor(s.Phase)))
+		invariant.Failf("models: phase model %T cannot expose probabilities", ps.modelFor(s.Phase))
 	}
 	return p.PageProbs(s)
 }

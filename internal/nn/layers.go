@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mpgraph/internal/invariant"
 	"mpgraph/internal/tensor"
 )
 
@@ -115,7 +116,7 @@ type MultiHeadSelfAttention struct {
 // NewMultiHeadSelfAttention builds heads of size dim/heads over dim inputs.
 func NewMultiHeadSelfAttention(dim, heads int, rng *rand.Rand) *MultiHeadSelfAttention {
 	if dim%heads != 0 {
-		panic("nn: dim must divide by heads")
+		invariant.Fail("nn: dim must divide by heads")
 	}
 	m := &MultiHeadSelfAttention{Wo: NewLinear(dim, dim, rng)}
 	for h := 0; h < heads; h++ {
@@ -219,7 +220,7 @@ type MLP struct {
 // NewMLP builds an MLP over the given layer widths (len >= 2).
 func NewMLP(widths []int, rng *rand.Rand) *MLP {
 	if len(widths) < 2 {
-		panic("nn: MLP needs at least input and output widths")
+		invariant.Fail("nn: MLP needs at least input and output widths")
 	}
 	m := &MLP{}
 	for i := 0; i+1 < len(widths); i++ {

@@ -58,7 +58,10 @@ func (p *SMS) region(block uint64) (region uint64, offset int) {
 }
 
 func signature(pc uint64, offset int) uint64 {
-	return pc<<6 ^ uint64(offset)
+	// The shift packs a (pc, first-offset) pair into one table key: offset
+	// is < RegionBlocks <= 64, so 6 bits separate the two fields. It is key
+	// hashing, not address geometry.
+	return pc<<6 ^ uint64(offset) //mpgraph:allow addrhelpers -- packs a 6-bit region offset into a table key, not line geometry
 }
 
 // Operate implements sim.Prefetcher.

@@ -234,15 +234,28 @@ func (e *Engine) Step(a trace.Access) {
 // long (LLC-or-beyond) miss that should occupy the overlap window.
 func (e *Engine) lookup(c int, block uint64, now uint64, a trace.Access) (latency uint64, longMiss bool) {
 	cfg := &e.cfg
-	if hit, _, _ := e.l1[c].Lookup(block, true); hit {
+	// wasPrefetch is structurally false at L1/L2 — only the LLC holds
+	// prefetched fills — so just the hit flag and the fill time matter
+	// here. A hit on a line whose fill is still in flight (readyAt in the
+	// future) pays the remaining fill time, mirroring the LLC's
+	// late-prefetch handling.
+	if hit, readyAt, _ := e.l1[c].Lookup(block, true); hit {
 		e.metrics.L1Hits++
-		return cfg.L1Latency, false
+		lat := cfg.L1Latency
+		if readyAt > now+lat {
+			lat = readyAt - now
+		}
+		return lat, false
 	}
 	e.metrics.L1Misses++
-	if hit, _, _ := e.l2[c].Lookup(block, true); hit {
+	if hit, readyAt, _ := e.l2[c].Lookup(block, true); hit {
 		e.metrics.L2Hits++
-		e.l1[c].Insert(block, false, now+cfg.L2Latency)
-		return cfg.L2Latency, false
+		lat := cfg.L2Latency
+		if readyAt > now+lat {
+			lat = readyAt - now
+		}
+		e.l1[c].Insert(block, false, now+lat)
+		return lat, false
 	}
 	e.metrics.L2Misses++
 
@@ -361,7 +374,11 @@ func (e *Engine) drainPrefetches(now uint64) {
 }
 
 func (e *Engine) insertLLC(block uint64, prefetched bool, readyAt uint64) {
-	_, _, unusedPF := e.llc.Insert(block, prefetched, readyAt)
+	// The victim's identity and validity are deliberately unused: the
+	// engine models no writeback traffic, so an evicted block costs
+	// nothing; pollution accounting only needs the never-referenced
+	// prefetch flag.
+	_, _, unusedPF := e.llc.Insert(block, prefetched, readyAt) //mpgraph:allow errdrop -- no writeback modelling, victim identity is irrelevant
 	if unusedPF {
 		e.metrics.PollutedEvictions++
 	}

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveGemm is the single-threaded reference: out += a@b.
+func naiveGemm(out, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				out[i*n+j] += a[i*k+p] * b[p*n+j]
+			}
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// TestGemmParallelPathMatchesSerial forces the worker-goroutine fan-out in
+// parallelRows (flops above gemmParallelThreshold) and checks the parallel
+// kernels against the naive reference. Run under -race this is the
+// regression test that the gemm workers write disjoint row ranges; it was
+// clean when the race gate was introduced and must stay so.
+func TestGemmParallelPathMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// 96*96*96 = 884736 flops > gemmParallelThreshold (1<<18), so every
+	// kernel takes its parallel path.
+	m, k, n := 96, 96, 96
+	if m*k*n <= gemmParallelThreshold {
+		t.Fatalf("test sized below the parallel threshold: %d <= %d", m*k*n, gemmParallelThreshold)
+	}
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	bt := make([]float64, n*k) // b^T for gemmNT
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bt[j*k+p] = b[p*n+j]
+		}
+	}
+	at := make([]float64, k*m) // a^T for gemmTN
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			at[p*m+i] = a[i*k+p]
+		}
+	}
+
+	want := make([]float64, m*n)
+	naiveGemm(want, a, b, m, k, n)
+
+	kernels := []struct {
+		name string
+		run  func(out []float64)
+	}{
+		{"gemm", func(out []float64) { gemm(out, a, b, m, k, n) }},
+		{"gemmNT", func(out []float64) { gemmNT(out, a, bt, m, k, n) }},
+		{"gemmTN", func(out []float64) { gemmTN(out, at, b, m, k, n) }},
+	}
+	for _, kr := range kernels {
+		got := make([]float64, m*n)
+		kr.run(got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: out[%d] = %g, want %g", kr.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmConcurrentCallers checks that independent GEMMs sharing read-only
+// inputs are safe to run from concurrent goroutines (the pattern the
+// experiment runner uses when evaluating several models on one dataset).
+func TestGemmConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, k, n := 96, 96, 96
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	want := make([]float64, m*n)
+	naiveGemm(want, a, b, m, k, n)
+
+	const callers = 8
+	results := make([][]float64, callers)
+	done := make(chan int, callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			out := make([]float64, m*n)
+			gemm(out, a, b, m, k, n)
+			results[c] = out
+			done <- c
+		}(c)
+	}
+	for range [callers]struct{}{} {
+		<-done
+	}
+	for c, got := range results {
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("caller %d: out[%d] = %g, want %g", c, i, got[i], want[i])
+			}
+		}
+	}
+}

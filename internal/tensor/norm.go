@@ -1,8 +1,9 @@
 package tensor
 
 import (
-	"fmt"
 	"math"
+
+	"mpgraph/internal/invariant"
 )
 
 // NormalizeRows normalises each row to zero mean and unit variance
@@ -60,7 +61,7 @@ func NormalizeRows(a *Tensor, eps float64) *Tensor {
 // gain [1 x n] (the learnable scale of layer normalisation).
 func MulBias(a, gain *Tensor) *Tensor {
 	if gain.Rows != 1 || gain.Cols != a.Cols {
-		panic(fmt.Sprintf("tensor: mulbias %dx%d * %dx%d", a.Rows, a.Cols, gain.Rows, gain.Cols))
+		invariant.Failf("tensor: mulbias %dx%d * %dx%d", a.Rows, a.Cols, gain.Rows, gain.Cols)
 	}
 	out := newResult(a.Rows, a.Cols, []*Tensor{a, gain}, nil)
 	for r := 0; r < a.Rows; r++ {

@@ -1,14 +1,15 @@
 package tensor
 
 import (
-	"fmt"
 	"math"
+
+	"mpgraph/internal/invariant"
 )
 
 // MatMul returns a@b for a [m x k] and b [k x n].
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		invariant.Failf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := newResult(a.Rows, b.Cols, []*Tensor{a, b}, nil)
 	gemm(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
@@ -54,7 +55,7 @@ func Add(a, b *Tensor) *Tensor {
 // AddBias adds row vector bias [1 x n] to every row of a [m x n].
 func AddBias(a, bias *Tensor) *Tensor {
 	if bias.Rows != 1 || bias.Cols != a.Cols {
-		panic(fmt.Sprintf("tensor: addbias %dx%d + %dx%d", a.Rows, a.Cols, bias.Rows, bias.Cols))
+		invariant.Failf("tensor: addbias %dx%d + %dx%d", a.Rows, a.Cols, bias.Rows, bias.Cols)
 	}
 	out := newResult(a.Rows, a.Cols, []*Tensor{a, bias}, nil)
 	for r := 0; r < a.Rows; r++ {
@@ -248,13 +249,13 @@ func Transpose(a *Tensor) *Tensor {
 // ConcatRows stacks tensors vertically (same Cols).
 func ConcatRows(ts ...*Tensor) *Tensor {
 	if len(ts) == 0 {
-		panic("tensor: ConcatRows of nothing")
+		invariant.Fail("tensor: ConcatRows of nothing")
 	}
 	cols := ts[0].Cols
 	rows := 0
 	for _, t := range ts {
 		if t.Cols != cols {
-			panic("tensor: ConcatRows column mismatch")
+			invariant.Fail("tensor: ConcatRows column mismatch")
 		}
 		rows += t.Rows
 	}
@@ -284,13 +285,13 @@ func ConcatRows(ts ...*Tensor) *Tensor {
 // ConcatCols stacks tensors horizontally (same Rows).
 func ConcatCols(ts ...*Tensor) *Tensor {
 	if len(ts) == 0 {
-		panic("tensor: ConcatCols of nothing")
+		invariant.Fail("tensor: ConcatCols of nothing")
 	}
 	rows := ts[0].Rows
 	cols := 0
 	for _, t := range ts {
 		if t.Rows != rows {
-			panic("tensor: ConcatCols row mismatch")
+			invariant.Fail("tensor: ConcatCols row mismatch")
 		}
 		cols += t.Cols
 	}
@@ -324,7 +325,7 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 // SliceRows returns rows [lo,hi) as a new tensor in the graph.
 func SliceRows(a *Tensor, lo, hi int) *Tensor {
 	if lo < 0 || hi > a.Rows || lo >= hi {
-		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) of %d rows", lo, hi, a.Rows))
+		invariant.Failf("tensor: SliceRows [%d,%d) of %d rows", lo, hi, a.Rows)
 	}
 	out := newResult(hi-lo, a.Cols, []*Tensor{a}, nil)
 	copy(out.Data, a.Data[lo*a.Cols:hi*a.Cols])
@@ -368,7 +369,7 @@ func MeanRows(a *Tensor) *Tensor {
 func EmbeddingLookup(table *Tensor, ids []int) *Tensor {
 	for _, id := range ids {
 		if id < 0 || id >= table.Rows {
-			panic(fmt.Sprintf("tensor: embedding id %d out of [0,%d)", id, table.Rows))
+			invariant.Failf("tensor: embedding id %d out of [0,%d)", id, table.Rows)
 		}
 	}
 	out := newResult(len(ids), table.Cols, []*Tensor{table}, nil)
@@ -394,7 +395,7 @@ func EmbeddingLookup(table *Tensor, ids []int) *Tensor {
 // against targets in {0,1} (the paper's multi-label delta-bitmap loss).
 func BCEWithLogits(logits *Tensor, targets []float64) *Tensor {
 	if len(targets) != len(logits.Data) {
-		panic("tensor: BCE target length mismatch")
+		invariant.Fail("tensor: BCE target length mismatch")
 	}
 	out := newResult(1, 1, []*Tensor{logits}, nil)
 	n := float64(len(targets))
@@ -421,10 +422,10 @@ func BCEWithLogits(logits *Tensor, targets []float64) *Tensor {
 // class index target (the paper's page-classification loss).
 func CrossEntropyLogits(logits *Tensor, target int) *Tensor {
 	if logits.Rows != 1 {
-		panic("tensor: CrossEntropyLogits wants a 1xC row")
+		invariant.Fail("tensor: CrossEntropyLogits wants a 1xC row")
 	}
 	if target < 0 || target >= logits.Cols {
-		panic(fmt.Sprintf("tensor: target %d out of [0,%d)", target, logits.Cols))
+		invariant.Failf("tensor: target %d out of [0,%d)", target, logits.Cols)
 	}
 	out := newResult(1, 1, []*Tensor{logits}, nil)
 	maxV := math.Inf(-1)
@@ -461,10 +462,10 @@ func CrossEntropyLogits(logits *Tensor, target int) *Tensor {
 // temperature T: loss = -Σ teacherProbs_i · log softmax(logits/T)_i · T².
 func SoftCrossEntropy(logits *Tensor, teacherProbs []float64, temperature float64) *Tensor {
 	if logits.Rows != 1 || len(teacherProbs) != logits.Cols {
-		panic("tensor: SoftCrossEntropy shape mismatch")
+		invariant.Fail("tensor: SoftCrossEntropy shape mismatch")
 	}
 	if temperature <= 0 {
-		panic("tensor: temperature must be positive")
+		invariant.Fail("tensor: temperature must be positive")
 	}
 	out := newResult(1, 1, []*Tensor{logits}, nil)
 	scaled := make([]float64, logits.Cols)
@@ -501,7 +502,7 @@ func SoftCrossEntropy(logits *Tensor, teacherProbs []float64, temperature float6
 // MSE is the mean squared error between a and target values.
 func MSE(a *Tensor, targets []float64) *Tensor {
 	if len(targets) != len(a.Data) {
-		panic("tensor: MSE target length mismatch")
+		invariant.Fail("tensor: MSE target length mismatch")
 	}
 	out := newResult(1, 1, []*Tensor{a}, nil)
 	n := float64(len(targets))
@@ -523,6 +524,6 @@ func MSE(a *Tensor, targets []float64) *Tensor {
 
 func checkSameShape(op string, a, b *Tensor) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+		invariant.Failf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sync/atomic"
+
+	"mpgraph/internal/invariant"
 )
 
 // gradDisabled gates graph construction (inverted so the zero value means
@@ -50,7 +52,7 @@ type Tensor struct {
 // New creates a Rows x Cols tensor backed by data (taken over, not copied).
 func New(rows, cols int, data []float64) *Tensor {
 	if len(data) != rows*cols {
-		panic(fmt.Sprintf("tensor: data length %d != %dx%d", len(data), rows, cols))
+		invariant.Failf("tensor: data length %d != %dx%d", len(data), rows, cols)
 	}
 	return &Tensor{Rows: rows, Cols: cols, Data: data}
 }

@@ -1,6 +1,6 @@
 package trace
 
-import "fmt"
+import "mpgraph/internal/invariant"
 
 // Region is a named, page-aligned virtual address range backing one data
 // structure of a framework (a vertex-value array, the CSR edge array, a
@@ -20,7 +20,7 @@ func (r Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.B
 func (r Region) Elem(i int, elemSize uint64) uint64 {
 	addr := r.Base + uint64(i)*elemSize
 	if addr+elemSize > r.Base+r.Size {
-		panic(fmt.Sprintf("trace: %s[%d] (elem %dB) outside region of %dB", r.Name, i, elemSize, r.Size))
+		invariant.Failf("trace: %s[%d] (elem %dB) outside region of %dB", r.Name, i, elemSize, r.Size)
 	}
 	return addr
 }
