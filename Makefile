@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race ci
+.PHONY: all build vet lint test race bench ci
 
 all: build lint test
 
@@ -28,5 +28,17 @@ test:
 # the timeout covers the ~10x instrumentation slowdown on model training.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# bench is the benchmark smoke: one iteration of every inference and sweep
+# benchmark, converted to BENCH_small.json by cmd/mpgraph-bench (fast-path
+# speedups appear in its "speedups" section). Two steps through a file so a
+# benchmark failure fails the target. For stable published numbers rerun
+# with a higher -benchtime and -count (see DESIGN.md §8).
+bench:
+	$(GO) test ./internal/prefetch/ ./internal/core/ ./internal/experiments/ \
+		-run xxx -bench 'BenchmarkOperate|BenchmarkPrefetchSweep' -benchtime 1x \
+		> bench.out
+	$(GO) run ./cmd/mpgraph-bench -in bench.out -o BENCH_small.json
+	rm -f bench.out
 
 ci: build lint test race

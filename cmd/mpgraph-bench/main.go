@@ -1,0 +1,208 @@
+// Command mpgraph-bench converts `go test -bench` text output into a small
+// machine-readable JSON report (BENCH_small.json) so CI can archive
+// benchmark results and the fast-path speedup claims in DESIGN.md stay
+// reproducible from a committed artifact.
+//
+// Benchmarks whose name contains "Legacy" are paired with the benchmark
+// named by deleting that substring (BenchmarkOperateDeltaLSTMLegacy pairs
+// with BenchmarkOperateDeltaLSTM, BenchmarkPrefetchSweepLegacySerial with
+// BenchmarkPrefetchSweepSerial) and reported as a speedup ratio
+// legacy/fast in the "speedups" section.
+//
+// Usage:
+//
+//	go test ./... -bench . -benchtime 1x -run xxx | mpgraph-bench -o BENCH_small.json
+//	mpgraph-bench -in bench.txt -o BENCH_small.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Speedup reports a Legacy/fast benchmark pair as a wall-time ratio.
+type Speedup struct {
+	Name     string  `json:"name"`
+	FastNs   float64 `json:"fast_ns_per_op"`
+	LegacyNs float64 `json:"legacy_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// Report is the BENCH_small.json document.
+type Report struct {
+	Benchmarks []Result  `json:"benchmarks"`
+	Speedups   []Speedup `json:"speedups"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output file (default stdin)")
+		out = flag.String("o", "BENCH_small.json", "output JSON path")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := parseBench(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+
+	report := Report{Benchmarks: results, Speedups: pairSpeedups(results)}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("encode report: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mpgraph-bench: wrote %s (%d benchmarks, %d speedup pairs)\n",
+		*out, len(report.Benchmarks), len(report.Speedups))
+}
+
+// parseBench extracts benchmark result lines, tracking the enclosing
+// package from the `pkg:` header lines `go test` prints.
+func parseBench(r io.Reader) ([]Result, error) {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		// `ok <pkg> <time>` trailers also carry the package, covering
+		// inputs where -bench output was filtered down to result lines.
+		if rest, ok := strings.CutPrefix(line, "ok "); ok {
+			if f := strings.Fields(rest); len(f) > 0 {
+				pkg = f[0]
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(pkg, line)
+		if !ok {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine parses one `Benchmark<Name>[-P] <iters> <ns> ns/op
+// [<B> B/op] [<allocs> allocs/op]` line.
+func parseBenchLine(pkg, line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix when present.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Pkg: pkg, Name: name, Iters: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, true
+}
+
+// pairSpeedups matches each Legacy benchmark with its fast counterpart.
+// Repeated -count runs are averaged per name before pairing.
+func pairSpeedups(results []Result) []Speedup {
+	type agg struct {
+		sum float64
+		n   int
+	}
+	mean := map[string]*agg{}
+	var order []string
+	for _, r := range results {
+		a := mean[r.Name]
+		if a == nil {
+			a = &agg{}
+			mean[r.Name] = a
+			order = append(order, r.Name)
+		}
+		a.sum += r.NsPerOp
+		a.n++
+	}
+	var out []Speedup
+	for _, name := range order {
+		if !strings.Contains(name, "Legacy") {
+			continue
+		}
+		fastName := strings.Replace(name, "Legacy", "", 1)
+		fast, ok := mean[fastName]
+		if !ok {
+			continue
+		}
+		legacyNs := mean[name].sum / float64(mean[name].n)
+		fastNs := fast.sum / float64(fast.n)
+		if fastNs <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name:     strings.TrimPrefix(fastName, "Benchmark"),
+			FastNs:   fastNs,
+			LegacyNs: legacyNs,
+			Speedup:  legacyNs / fastNs,
+		})
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpgraph-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: mpgraph/internal/prefetch
+cpu: some cpu
+BenchmarkOperateDeltaLSTM-8 	    2000	     71578 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOperateDeltaLSTM-8 	    2000	     72000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOperateDeltaLSTMLegacy-8 	    2000	    143578 ns/op	  512000 B/op	    1200 allocs/op
+PASS
+ok  	mpgraph/internal/prefetch	3.375s
+pkg: mpgraph/internal/experiments
+BenchmarkPrefetchSweepSerial 	       1	1717870046 ns/op
+BenchmarkPrefetchSweepLegacySerial 	       1	3685844300 ns/op
+ok  	mpgraph/internal/experiments	14.201s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
+	}
+	first := results[0]
+	if first.Pkg != "mpgraph/internal/prefetch" {
+		t.Fatalf("pkg = %q", first.Pkg)
+	}
+	if first.Name != "BenchmarkOperateDeltaLSTM" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", first.Name)
+	}
+	if first.Iters != 2000 || first.NsPerOp != 71578 {
+		t.Fatalf("iters/ns = %d/%g", first.Iters, first.NsPerOp)
+	}
+	legacy := results[2]
+	if legacy.BytesPerOp != 512000 || legacy.AllocsPerOp != 1200 {
+		t.Fatalf("B/allocs = %d/%d", legacy.BytesPerOp, legacy.AllocsPerOp)
+	}
+	sweep := results[3]
+	if sweep.Pkg != "mpgraph/internal/experiments" {
+		t.Fatalf("sweep pkg = %q", sweep.Pkg)
+	}
+	if sweep.BytesPerOp != 0 || sweep.AllocsPerOp != 0 {
+		t.Fatalf("missing B/op fields must stay zero, got %d/%d", sweep.BytesPerOp, sweep.AllocsPerOp)
+	}
+}
+
+func TestPairSpeedups(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := pairSpeedups(results)
+	if len(sp) != 2 {
+		t.Fatalf("got %d speedup pairs, want 2", len(sp))
+	}
+	// The two DeltaLSTM runs average to 71789 ns/op before pairing.
+	lstm := sp[0]
+	if lstm.Name != "OperateDeltaLSTM" {
+		t.Fatalf("pair name = %q", lstm.Name)
+	}
+	if math.Abs(lstm.FastNs-71789) > 1 {
+		t.Fatalf("fast ns = %g, want ~71789", lstm.FastNs)
+	}
+	if math.Abs(lstm.Speedup-143578.0/71789.0) > 1e-9 {
+		t.Fatalf("speedup = %g", lstm.Speedup)
+	}
+	sweep := sp[1]
+	if sweep.Name != "PrefetchSweepSerial" {
+		t.Fatalf("pair name = %q", sweep.Name)
+	}
+	if sweep.Speedup < 2 {
+		t.Fatalf("sample sweep speedup = %g, want > 2", sweep.Speedup)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkBroken 12 fast\n"))
+	if err == nil {
+		t.Fatal("malformed benchmark line must error")
+	}
+}

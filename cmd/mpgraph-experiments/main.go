@@ -57,6 +57,8 @@ func main() {
 		apps       = flag.String("apps", "", "comma-separated apps filter (bfs,cc,pr,sssp,tc)")
 		graphScale = flag.Int("graph-scale", 0, "log2 vertices override")
 		seed       = flag.Int64("seed", 1, "experiment seed")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		slowInfer  = flag.Bool("disable-fast-path", false, "use the legacy allocating inference path (serial; perf baseline)")
 		out        = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -78,6 +80,8 @@ func main() {
 		fatalf("unknown scale %q (small|paper)", *scale)
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
+	opt.DisableFastPath = *slowInfer
 	if *graphScale > 0 {
 		opt.GraphScale = *graphScale
 	}

@@ -31,6 +31,11 @@ type Options struct {
 	// OraclePhase bypasses the detector and uses the trace's ground-truth
 	// phase label (ablation only).
 	OraclePhase bool
+	// DisableFastPath runs inference on the legacy allocating autograd
+	// path instead of the per-instance arena. The legacy path toggles the
+	// global grad flag, so it must not run concurrently with training —
+	// it exists as the perf baseline the benchmarks compare against.
+	DisableFastPath bool
 }
 
 // DefaultOptions mirrors Section 5.4.1: Ds=2, Dt=2, total degree 6.
@@ -63,6 +68,16 @@ type MPGraph struct {
 	phase int
 	tick  int
 
+	// Inference fast path: per-instance arena plus reusable scratch
+	// buffers so a steady-state Operate call allocates nothing. ctx == nil
+	// selects the legacy allocating path (Options.DisableFastPath).
+	ctx         *tensor.Ctx
+	sampScratch models.Sample
+	tailScratch models.Sample
+	out         []uint64
+	deltaBuf    []uint64
+	pageBuf     []uint64
+
 	// Probation state: after a detected transition all candidate phases'
 	// recent predictions are scored against arriving demand accesses.
 	probing     bool
@@ -94,7 +109,7 @@ func New(opt Options, historyT int, detector phasedet.Detector, deltas []models.
 	if opt.ProbationWindow <= 0 {
 		opt.ProbationWindow = 48
 	}
-	return &MPGraph{
+	m := &MPGraph{
 		opt:      opt,
 		historyT: historyT,
 		detector: detector,
@@ -102,7 +117,11 @@ func New(opt Options, historyT int, detector phasedet.Detector, deltas []models.
 		pages:    pages,
 		hist:     models.NewHistory(historyT),
 		pbot:     NewPBOT(opt.PBOTSize),
-	}, nil
+	}
+	if !opt.DisableFastPath {
+		m.ctx = tensor.NewCtx()
+	}
+	return m, nil
 }
 
 // Name implements sim.Prefetcher.
@@ -140,37 +159,44 @@ func (m *MPGraph) Operate(acc sim.LLCAccess) []uint64 {
 		return nil
 	}
 
-	restore := tensor.SetGradEnabled(false)
-	defer tensor.SetGradEnabled(restore)
-
+	if m.ctx == nil {
+		// Legacy path: graph construction suppressed globally (serial use
+		// only — see Options.DisableFastPath).
+		restore := tensor.SetGradEnabled(false)
+		defer tensor.SetGradEnabled(restore)
+		if m.probing {
+			m.feedProbe()
+		}
+		return m.cstp(acc.Block)
+	}
+	defer m.ctx.Reset()
 	if m.probing {
 		m.feedProbe()
 	}
-
 	return m.cstp(acc.Block)
 }
 
 // cstp performs chain spatio-temporal prefetching from the current block.
 func (m *MPGraph) cstp(block uint64) []uint64 {
 	maxDegree := m.opt.MaxTotalDegree()
-	out := make([]uint64, 0, maxDegree)
-	seen := map[uint64]bool{}
-	add := func(b uint64) bool {
-		if seen[b] || len(out) >= maxDegree {
-			return len(out) < maxDegree
-		}
-		seen[b] = true
-		out = append(out, b)
-		return true
+	out := m.out[:0]
+	if m.ctx == nil {
+		out = make([]uint64, 0, maxDegree)
 	}
 
-	sample := m.hist.Sample(m.phase)
+	var sample *models.Sample
+	if m.ctx == nil {
+		sample = m.hist.Sample(m.phase)
+	} else {
+		sample = m.hist.SampleInto(&m.sampScratch, m.phase)
+	}
 	delta := m.deltas[m.phase%len(m.deltas)]
 	page := m.pages[m.phase%len(m.pages)]
 
 	// Step 0: spatial deltas at the current block.
-	for _, b := range m.topDeltaBlocks(delta, sample, block) {
-		add(b)
+	m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	for _, b := range m.deltaBuf {
+		out = addUnique(out, b, maxDegree)
 	}
 
 	// Temporal chain: predicted page -> PBOT offset -> further spatial and
@@ -178,32 +204,52 @@ func (m *MPGraph) cstp(block uint64) []uint64 {
 	// the temporal depth runs out.
 	cur := sample
 	for step := 0; step < m.opt.TemporalDegree; step++ {
-		tops := page.TopPages(cur, 1)
-		if len(tops) == 0 {
+		m.pageBuf = models.TopPagesWith(m.ctx, page, cur, 1, m.pageBuf[:0])
+		if len(m.pageBuf) == 0 {
 			break
 		}
-		next := tops[0]
+		next := m.pageBuf[0]
 		entry, ok := m.pbot.Lookup(next)
 		if !ok {
 			break
 		}
 		base := trace.BlockOfPageOffset(next, entry.Offset)
-		add(base)
-		cur = m.hist.SampleWithTail(m.phase, base, entry.PC)
-		for _, b := range m.topDeltaBlocks(delta, cur, base) {
-			if !add(b) {
+		out = addUnique(out, base, maxDegree)
+		if m.ctx == nil {
+			cur = m.hist.SampleWithTail(m.phase, base, entry.PC)
+		} else {
+			cur = m.hist.SampleWithTailInto(&m.tailScratch, m.phase, base, entry.PC)
+		}
+		m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		for _, b := range m.deltaBuf {
+			if len(out) >= maxDegree {
 				break
 			}
+			out = addUnique(out, b, maxDegree)
 		}
 		if len(out) >= maxDegree {
 			break
 		}
 	}
+	if m.ctx != nil {
+		m.out = out
+	}
 	return out
 }
 
-func (m *MPGraph) topDeltaBlocks(model models.DeltaModel, s *models.Sample, base uint64) []uint64 {
-	return topDeltaBlocks(model, s, base, m.opt.SpatialDegree)
+// addUnique appends b to out unless it is already present or the degree
+// budget is spent — the dedupe the legacy path kept in a map, linearised
+// because maxDegree is at most Ds·(Dt+1) (6 at paper settings).
+func addUnique(out []uint64, b uint64, maxDegree int) []uint64 {
+	if len(out) >= maxDegree {
+		return out
+	}
+	for _, x := range out {
+		if x == b {
+			return out
+		}
+	}
+	return append(out, b)
 }
 
 // beginProbation activates all phase predictors in parallel for scoring
@@ -224,10 +270,16 @@ func (m *MPGraph) feedProbe() {
 	if !m.hist.Warm() {
 		return
 	}
-	base := m.hist.Sample(0).CurrentBlock()
+	base := m.hist.CurrentBlock()
 	for p, dm := range m.deltas {
-		s := m.hist.Sample(p)
-		for _, b := range m.topDeltaBlocks(dm, s, base) {
+		var s *models.Sample
+		if m.ctx == nil {
+			s = m.hist.Sample(p)
+		} else {
+			s = m.hist.SampleInto(&m.sampScratch, p)
+		}
+		m.deltaBuf = topDeltaBlocksAppend(m.ctx, dm, s, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		for _, b := range m.deltaBuf {
 			m.probeSets[p][b] = true
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"mpgraph/internal/models"
 	"mpgraph/internal/phasedet"
 	"mpgraph/internal/sim"
+	"mpgraph/internal/tensor"
 	"mpgraph/internal/trace"
 )
 
@@ -28,6 +29,16 @@ type PerCoreMPGraph struct {
 	phases []int
 	ticks  []int
 	pbot   *PBOT
+
+	// Inference fast path (see MPGraph): one arena per instance — Operate
+	// is called serially by the engine regardless of which core the access
+	// came from, so the scratch buffers are shared across cores.
+	ctx         *tensor.Ctx
+	sampScratch models.Sample
+	tailScratch models.Sample
+	out         []uint64
+	deltaBuf    []uint64
+	pageBuf     []uint64
 
 	// Transitions counts detector firings summed over cores.
 	Transitions int
@@ -64,6 +75,9 @@ func NewPerCore(opt Options, historyT, cores int, makeDetector func() phasedet.D
 	for c := 0; c < cores; c++ {
 		m.detectors = append(m.detectors, makeDetector())
 		m.hists = append(m.hists, models.NewHistory(historyT))
+	}
+	if !opt.DisableFastPath {
+		m.ctx = tensor.NewCtx()
 	}
 	return m, nil
 }
@@ -102,53 +116,64 @@ func (m *PerCoreMPGraph) cstp(c int, block uint64) []uint64 {
 	phase := m.phases[c]
 	hist := m.hists[c]
 	maxDegree := m.opt.MaxTotalDegree()
-	out := make([]uint64, 0, maxDegree)
-	seen := map[uint64]bool{}
-	add := func(b uint64) bool {
-		if seen[b] || len(out) >= maxDegree {
-			return len(out) < maxDegree
-		}
-		seen[b] = true
-		out = append(out, b)
-		return true
+	out := m.out[:0]
+	if m.ctx == nil {
+		out = make([]uint64, 0, maxDegree)
 	}
 	delta := m.deltas[phase%len(m.deltas)]
 	page := m.pages[phase%len(m.pages)]
-	sample := hist.Sample(phase)
-	for _, b := range topDeltaBlocks(delta, sample, block, m.opt.SpatialDegree) {
-		add(b)
+	var sample *models.Sample
+	if m.ctx == nil {
+		sample = hist.Sample(phase)
+	} else {
+		defer m.ctx.Reset()
+		sample = hist.SampleInto(&m.sampScratch, phase)
+	}
+	m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	for _, b := range m.deltaBuf {
+		out = addUnique(out, b, maxDegree)
 	}
 	cur := sample
 	for step := 0; step < m.opt.TemporalDegree; step++ {
-		tops := page.TopPages(cur, 1)
-		if len(tops) == 0 {
+		m.pageBuf = models.TopPagesWith(m.ctx, page, cur, 1, m.pageBuf[:0])
+		if len(m.pageBuf) == 0 {
 			break
 		}
-		entry, ok := m.pbot.Lookup(tops[0])
+		entry, ok := m.pbot.Lookup(m.pageBuf[0])
 		if !ok {
 			break
 		}
-		base := trace.BlockOfPageOffset(tops[0], entry.Offset)
-		add(base)
-		cur = hist.SampleWithTail(phase, base, entry.PC)
-		for _, b := range topDeltaBlocks(delta, cur, base, m.opt.SpatialDegree) {
-			if !add(b) {
+		base := trace.BlockOfPageOffset(m.pageBuf[0], entry.Offset)
+		out = addUnique(out, base, maxDegree)
+		if m.ctx == nil {
+			cur = hist.SampleWithTail(phase, base, entry.PC)
+		} else {
+			cur = hist.SampleWithTailInto(&m.tailScratch, phase, base, entry.PC)
+		}
+		m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		for _, b := range m.deltaBuf {
+			if len(out) >= maxDegree {
 				break
 			}
+			out = addUnique(out, b, maxDegree)
 		}
 		if len(out) >= maxDegree {
 			break
 		}
 	}
+	if m.ctx != nil {
+		m.out = out
+	}
 	return out
 }
 
-// topDeltaBlocks is the shared top-k delta decode (also used by MPGraph).
-func topDeltaBlocks(model models.DeltaModel, s *models.Sample, base uint64, k int) []uint64 {
-	scores := model.DeltaScores(s)
+// topDeltaBlocksAppend is the shared top-k delta decode (also used by
+// MPGraph): it appends the decoded block targets to dst, drawing every
+// intermediate from the ctx arena when one is supplied.
+func topDeltaBlocksAppend(c *tensor.Ctx, model models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) []uint64 {
+	scores := models.DeltaScoresWith(c, model, s)
 	rangeHalf := len(scores) / 2
-	out := make([]uint64, 0, k)
-	for _, cls := range models.TopKClasses(scores, k) {
+	for _, cls := range models.TopKClassesCtx(c, scores, k) {
 		var d int64
 		if cls < rangeHalf {
 			d = int64(cls) - int64(rangeHalf)
@@ -156,8 +181,8 @@ func topDeltaBlocks(model models.DeltaModel, s *models.Sample, base uint64, k in
 			d = int64(cls-rangeHalf) + 1
 		}
 		if t := int64(base) + d; t >= 0 {
-			out = append(out, uint64(t))
+			dst = append(dst, uint64(t))
 		}
 	}
-	return out
+	return dst
 }

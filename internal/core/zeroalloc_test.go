@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"mpgraph/internal/models"
+	"mpgraph/internal/sim"
+)
+
+// newAMMAMPGraph builds an MPGraph over untrained (random-init) AMMA
+// models: weight values are irrelevant to allocation and timing behavior,
+// so training is skipped.
+func newAMMAMPGraph(tb testing.TB, opt Options) *MPGraph {
+	tb.Helper()
+	cfg := models.SmallConfig()
+	var pcVals, pageVals []uint64
+	for i := 0; i < 32; i++ {
+		pcVals = append(pcVals, 0x400000+0x40*uint64(i))
+		pageVals = append(pageVals, uint64(1<<14+i))
+	}
+	pcs := models.BuildVocab(pcVals, cfg.PCVocab)
+	pages := models.BuildVocab(pageVals, cfg.PageVocab)
+	delta := models.NewAMMADelta(cfg, pcs, 0, 1)
+	page := models.NewAMMAPage(cfg, pages, pcs, 0, 2)
+	m, err := New(opt, cfg.HistoryT, silentDetector{}, []models.DeltaModel{delta}, []models.PageModel{page})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// mpgraphStepper drives Operate with a 64-block cyclic pattern confined to
+// one page, so the PBOT and history stay in steady state.
+func mpgraphStepper(m *MPGraph) func() {
+	i := 0
+	return func() {
+		i++
+		m.Operate(sim.LLCAccess{Block: uint64(1<<20 + i%64), PC: 0x400000 + 0x40*uint64(i%3)})
+	}
+}
+
+func TestMPGraphOperateZeroAlloc(t *testing.T) {
+	m := newAMMAMPGraph(t, DefaultOptions())
+	step := mpgraphStepper(m)
+	for n := 0; n < 96; n++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(64, step); allocs != 0 {
+		t.Fatalf("steady-state AMMA MPGraph.Operate allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func benchMPGraphOperate(b *testing.B, opt Options) {
+	m := newAMMAMPGraph(b, opt)
+	step := mpgraphStepper(m)
+	for n := 0; n < 96; n++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		step()
+	}
+}
+
+func BenchmarkOperateMPGraphAMMA(b *testing.B) {
+	benchMPGraphOperate(b, DefaultOptions())
+}
+
+func BenchmarkOperateMPGraphAMMALegacy(b *testing.B) {
+	opt := DefaultOptions()
+	opt.DisableFastPath = true
+	benchMPGraphOperate(b, opt)
+}

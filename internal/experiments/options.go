@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"mpgraph/internal/frameworks"
 	"mpgraph/internal/models"
@@ -39,6 +40,15 @@ type Options struct {
 	Epochs int
 	// Seed drives everything stochastic.
 	Seed int64
+	// Workers bounds the sweep scheduler's worker pool (0 = GOMAXPROCS, 1 =
+	// serial). Independent (workload, prefetcher) simulations fan out across
+	// the pool; report output is byte-identical at any worker count.
+	Workers int
+	// DisableFastPath runs all ML inference on the legacy allocating
+	// autograd path instead of the per-prefetcher arenas — the perf baseline
+	// the benchmarks compare against. The legacy path toggles the global
+	// grad flag, so it forces the sweep serial regardless of Workers.
+	DisableFastPath bool
 }
 
 // DefaultOptions returns the small-scale configuration.
@@ -95,6 +105,19 @@ func (o Options) SimConfig() sim.Config {
 	cfg.L2Sets = 128  // 64 KB
 	cfg.LLCSets = 256 // 256 KB
 	return cfg
+}
+
+// workers resolves the scheduler's pool size: Workers, defaulting to
+// GOMAXPROCS, clamped to 1 when the legacy inference path is selected
+// (it toggles process-global autograd state and must run serially).
+func (o Options) workers() int {
+	if o.DisableFastPath {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // graphScale returns log2(vertices) for generated graphs.

@@ -275,7 +275,7 @@ func (r *Runner) Prefetchers(w Workload) ([]sim.Prefetcher, error) {
 		return nil, err
 	}
 	T := s.Cfg.HistoryT
-	mlOpt := prefetch.MLOptions{Degree: 6}
+	mlOpt := prefetch.MLOptions{Degree: 6, DisableFastPath: r.Opt.DisableFastPath}
 
 	mp, err := r.MPGraph(w, core.DefaultOptions())
 	if err != nil {
@@ -297,6 +297,9 @@ func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
 	s, err := r.Suite(w)
 	if err != nil {
 		return nil, err
+	}
+	if r.Opt.DisableFastPath {
+		opt.DisableFastPath = true
 	}
 	deltas := make([]models.DeltaModel, len(s.PSDelta.Models))
 	copy(deltas, s.PSDelta.Models)

@@ -19,7 +19,11 @@ type prefetchRow struct {
 }
 
 // runPrefetchSweep simulates all Section 5.4.1 prefetchers over all
-// workloads; Figs. 10-12 share one sweep via the Runner cache.
+// workloads; Figs. 10-12 share one sweep via the Runner cache. Independent
+// (workload, prefetcher) simulations fan out across Options.Workers
+// goroutines, then the rows are assembled in the serial sweep's exact
+// workload-outer / prefetcher-inner order — the printed tables are
+// byte-identical at any worker count.
 func runPrefetchSweep(r *Runner) (map[string][]prefetchRow, []string, error) {
 	r.mu.Lock()
 	if r.sweepRows != nil {
@@ -28,27 +32,82 @@ func runPrefetchSweep(r *Runner) (map[string][]prefetchRow, []string, error) {
 		return rows, order, nil
 	}
 	r.mu.Unlock()
-	results := map[string][]prefetchRow{}
-	var order []string
-	for _, wl := range r.Opt.Workloads() {
-		pfs, err := r.Prefetchers(wl)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, pf := range pfs {
-			m, base, err := r.Simulate(wl, pf)
-			if err != nil {
-				return nil, nil, err
-			}
-			if _, seen := results[pf.Name()]; !seen {
-				order = append(order, pf.Name())
-			}
-			results[pf.Name()] = append(results[pf.Name()], prefetchRow{Workload: wl, Metrics: m, Baseline: base})
-		}
+	results, order, err := computePrefetchSweep(r)
+	if err != nil {
+		return nil, nil, err
 	}
 	r.mu.Lock()
 	r.sweepRows, r.sweepOrder = results, order
 	r.mu.Unlock()
+	return results, order, nil
+}
+
+// BenchSweep recomputes the full prefetcher sweep, bypassing the Runner's
+// row cache — the benchmark entry point. Workload traces and trained model
+// suites stay cached on r, so repeated calls time only the simulations.
+func BenchSweep(r *Runner) error {
+	_, _, err := computePrefetchSweep(r) //mpgraph:allow errdrop -- benchmark times the sweep; the rows are the cached-path's concern
+	return err
+}
+
+// computePrefetchSweep runs the sweep under the bounded scheduler.
+func computePrefetchSweep(r *Runner) (map[string][]prefetchRow, []string, error) {
+	wls := r.Opt.Workloads()
+	workers := r.Opt.workers()
+
+	// Stage 1: per-workload prefetcher sets. Fanning this stage out trains
+	// the model suites for distinct workloads concurrently (the Runner's
+	// cells coalesce duplicate requests; training never touches the global
+	// grad flag, so concurrent suites are independent).
+	pfsByWl := make([][]sim.Prefetcher, len(wls))
+	err := forEachIndex(len(wls), workers, func(i int) error {
+		var err error
+		pfsByWl[i], err = r.Prefetchers(wls[i])
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Stage 2: one task per (workload, prefetcher) pair. Every simulation
+	// owns its prefetcher instance (history, arena, tables are per-instance
+	// state), so tasks share only immutable trained weights; each result
+	// lands in the slot keyed by its (workload, prefetcher) index.
+	type pair struct{ wi, pi int }
+	var pairs []pair
+	rows := make([][]prefetchRow, len(wls))
+	for wi := range wls {
+		rows[wi] = make([]prefetchRow, len(pfsByWl[wi]))
+		for pi := range pfsByWl[wi] {
+			pairs = append(pairs, pair{wi, pi})
+		}
+	}
+	err = forEachIndex(len(pairs), workers, func(i int) error {
+		p := pairs[i]
+		m, base, err := r.Simulate(wls[p.wi], pfsByWl[p.wi][p.pi])
+		if err != nil {
+			return err
+		}
+		rows[p.wi][p.pi] = prefetchRow{Workload: wls[p.wi], Metrics: m, Baseline: base}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Assembly replays the serial iteration order exactly: results[name]
+	// rows appear in workload order, order lists first-seen names.
+	results := map[string][]prefetchRow{}
+	var order []string
+	for wi := range wls {
+		for pi, pf := range pfsByWl[wi] {
+			name := pf.Name()
+			if _, seen := results[name]; !seen {
+				order = append(order, name)
+			}
+			results[name] = append(results[name], rows[wi][pi])
+		}
+	}
 	return results, order, nil
 }
 
@@ -227,7 +286,9 @@ func AblationPerCore(w io.Writer, r *Runner) error {
 	pages := make([]models.PageModel, len(s.PSPage.Models))
 	copy(pages, s.PSPage.Models)
 	seed := r.Opt.Seed
-	perCore, err := core.NewPerCore(core.DefaultOptions(), s.Cfg.HistoryT, 4, func() phasedet.Detector {
+	pcOpt := core.DefaultOptions()
+	pcOpt.DisableFastPath = r.Opt.DisableFastPath
+	perCore, err := core.NewPerCore(pcOpt, s.Cfg.HistoryT, 4, func() phasedet.Detector {
 		seed++
 		return phasedet.NewSoftKSWIN(phasedet.KSWINConfig{Seed: seed})
 	}, deltas, pages)

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex runs fn(i) for every i in [0, n) on a bounded pool of
+// workers. Indices are handed out through an atomic counter, so no worker
+// idles while work remains; with workers <= 1 (or n == 1) everything runs
+// inline on the caller's goroutine — the serial path spawns no goroutines.
+//
+// Determinism contract: fn must write its result into a slot owned by its
+// index (results[i]) and must not depend on execution order. On failure the
+// error from the LOWEST failing index is returned — the same error a serial
+// loop stopping at its first failure would report — regardless of which
+// worker hit an error first. Later indices may still have run; callers
+// discard their slots on error.
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -70,12 +70,18 @@ func (v *Vocab) Capacity() int { return v.cap }
 // consumes.
 func SegmentBlock(cfg Config, block uint64) []float64 {
 	out := make([]float64, cfg.NumSegments)
+	SegmentBlockInto(cfg, block, out)
+	return out
+}
+
+// SegmentBlockInto writes the segmentation of block into out (length
+// cfg.NumSegments) without allocating.
+func SegmentBlockInto(cfg Config, block uint64, out []float64) {
 	mask := uint64(1)<<cfg.SegmentBits - 1
 	norm := float64(mask)
 	for s := 0; s < cfg.NumSegments; s++ {
 		out[s] = float64((block>>(s*cfg.SegmentBits))&mask) / norm
 	}
-	return out
 }
 
 // AddrFeatureTensor encodes a window of block addresses as a

@@ -1,0 +1,289 @@
+package models
+
+import (
+	"mpgraph/internal/tensor"
+	"mpgraph/internal/trace"
+)
+
+// Arena fast paths for model inference (DESIGN.md §8). Each predictor gains
+// a ctx variant of its scoring entry point that threads a *tensor.Ctx
+// through the forward pass: a nil ctx reproduces the exact autograd path,
+// a non-nil ctx runs graph-free on the arena with zero steady-state heap
+// allocations. The capability interfaces below keep the base DeltaModel /
+// PageModel contracts untouched — implementations without a fast path
+// (binary-compressed heads, distilled students) simply fall back.
+
+// DeltaScorerCtx is a DeltaModel with an arena fast path. Fast-path scores
+// are arena-backed: valid only until the ctx is reset.
+type DeltaScorerCtx interface {
+	DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64
+}
+
+// PageTopperCtx is a PageModel with an arena fast path. TopPagesAppendCtx
+// appends up to k pages to dst and returns it, so callers can reuse one
+// result buffer across calls.
+type PageTopperCtx interface {
+	TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64
+}
+
+// DeltaScoresWith scores s on the fast path when m supports it (and c is
+// non-nil), falling back to the allocating DeltaScores otherwise.
+func DeltaScoresWith(c *tensor.Ctx, m DeltaModel, s *Sample) []float64 {
+	if fc, ok := m.(DeltaScorerCtx); ok && c != nil {
+		return fc.DeltaScoresCtx(c, s)
+	}
+	return m.DeltaScores(s)
+}
+
+// TopPagesWith appends m's top-k pages for s to dst on the fast path when m
+// supports it, falling back to TopPages otherwise.
+func TopPagesWith(c *tensor.Ctx, m PageModel, s *Sample, k int, dst []uint64) []uint64 {
+	if fc, ok := m.(PageTopperCtx); ok && c != nil {
+		return fc.TopPagesAppendCtx(c, s, k, dst)
+	}
+	return append(dst, m.TopPages(s, k)...)
+}
+
+// --- encoding helpers (ctx variants of the package-level ones) ---
+
+func pcTokensCtx(c *tensor.Ctx, v *Vocab, pcs []uint64) []int {
+	out := c.Ints(len(pcs))
+	for i, pc := range pcs {
+		out[i] = v.Token(pc)
+	}
+	return out
+}
+
+func pageTokensCtx(c *tensor.Ctx, v *Vocab, blocks []uint64) []int {
+	out := c.Ints(len(blocks))
+	for i, b := range blocks {
+		out[i] = v.Token(trace.PageOfBlock(b))
+	}
+	return out
+}
+
+// addrFeatureTensorCtx is AddrFeatureTensor on the arena.
+func addrFeatureTensorCtx(c *tensor.Ctx, cfg Config, blocks []uint64) *tensor.Tensor {
+	t := c.Zeros(len(blocks), cfg.NumSegments)
+	for i, b := range blocks {
+		SegmentBlockInto(cfg, b, t.Data[i*cfg.NumSegments:(i+1)*cfg.NumSegments])
+	}
+	return t
+}
+
+// concatStepFeaturesCtx is concatStepFeatures on the arena.
+func concatStepFeaturesCtx(c *tensor.Ctx, cfg Config, blocks, pcs []uint64) *tensor.Tensor {
+	cols := cfg.NumSegments + 1
+	t := c.Zeros(len(blocks), cols)
+	for i := range blocks {
+		SegmentBlockInto(cfg, blocks[i], t.Data[i*cols:i*cols+cfg.NumSegments])
+		t.Data[i*cols+cfg.NumSegments] = hashPC(pcs[i])
+	}
+	return t
+}
+
+// TopKClassesCtx is TopKClasses with the index scratch drawn from the
+// arena; a nil ctx falls back to the allocating sort.
+func TopKClassesCtx(c *tensor.Ctx, scores []float64, k int) []int {
+	if c == nil {
+		return TopKClasses(scores, k)
+	}
+	return topKSelectInto(c.Ints(len(scores)), scores, k)
+}
+
+// topKSelectInto ranks the k best-scoring indices into idxBuf (length
+// len(scores)) by partial selection sort, reproducing TopKClasses' order
+// exactly — descending score, equal scores broken by lower index — without
+// sort.Slice's allocations.
+func topKSelectInto(idxBuf []int, scores []float64, k int) []int {
+	n := len(scores)
+	for i := range idxBuf {
+		idxBuf[i] = i
+	}
+	if k > n {
+		k = n
+	}
+	for j := 0; j < k; j++ {
+		best := j
+		for i := j + 1; i < n; i++ {
+			bi, bb := idxBuf[i], idxBuf[best]
+			if scores[bi] > scores[bb] ||
+				(scores[bi] == scores[bb] && bi < bb) { //mpgraph:allow floateq -- exact tie-break matches TopKClasses ordering
+				best = i
+			}
+		}
+		idxBuf[j], idxBuf[best] = idxBuf[best], idxBuf[j]
+	}
+	return idxBuf[:k]
+}
+
+// topPagesAppendCtx maps the best-scoring known tokens back to page values,
+// appending to dst (the ctx analogue of topPagesFromScores).
+func topPagesAppendCtx(c *tensor.Ctx, pages *Vocab, scores []float64, k int, dst []uint64) []uint64 {
+	added := 0
+	for _, tok := range topKSelectInto(c.Ints(len(scores)), scores, k+1) {
+		if page, ok := pages.Value(tok); ok {
+			dst = append(dst, page)
+			added++
+			if added == k {
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// --- modality encoder / AMMA core ---
+
+func (m *modalityEncoder) encodeFeaturesCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	return m.attn.ForwardCtx(c, c.Add(m.lin.ForwardCtx(c, x), m.pos))
+}
+
+func (m *modalityEncoder) encodeTokensCtx(c *tensor.Ctx, ids []int) *tensor.Tensor {
+	return m.attn.ForwardCtx(c, c.Add(m.table.ForwardCtx(c, ids), m.pos))
+}
+
+// forwardCtx is ammaCore.forward on the fast path.
+func (core *ammaCore) forwardCtx(c *tensor.Ctx, encA, encB *tensor.Tensor, phase int) *tensor.Tensor {
+	fused := core.fusion.ForwardCtx2(c, encA, encB)
+	if core.phaseEmb != nil {
+		p := phase % core.phaseEmb.Vocab()
+		fused = c.AddBias(fused, core.phaseEmb.ForwardCtx(c, phaseIDScratch(c, p)))
+	}
+	for _, tl := range core.trans {
+		fused = tl.ForwardCtx(c, fused)
+	}
+	return c.MeanRows(fused)
+}
+
+// phaseIDScratch builds the single-id lookup slice without a heap alloc.
+func phaseIDScratch(c *tensor.Ctx, p int) []int {
+	ids := c.Ints(1)
+	ids[0] = p
+	return ids
+}
+
+// --- AMMA ---
+
+func (m *AMMADelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.logits(s)
+	}
+	encA := m.core.modA.encodeFeaturesCtx(c, addrFeatureTensorCtx(c, m.cfg, s.Blocks))
+	encB := m.core.modB.encodeTokensCtx(c, pcTokensCtx(c, m.pcs, s.PCs))
+	return m.head.ForwardCtx(c, m.core.forwardCtx(c, encA, encB, s.Phase))
+}
+
+// DeltaScoresCtx implements DeltaScorerCtx.
+func (m *AMMADelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
+	if c == nil {
+		return m.DeltaScores(s)
+	}
+	return c.SigmoidInPlace(m.logitsCtx(c, s)).Data
+}
+
+func (m *AMMAPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.logits(s)
+	}
+	encA := m.core.modA.encodeTokensCtx(c, pageTokensCtx(c, m.pages, s.Blocks))
+	encB := m.core.modB.encodeTokensCtx(c, pcTokensCtx(c, m.pcs, s.PCs))
+	return m.head.ForwardCtx(c, m.core.forwardCtx(c, encA, encB, s.Phase))
+}
+
+// TopPagesAppendCtx implements PageTopperCtx.
+func (m *AMMAPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
+	if c == nil {
+		return append(dst, m.TopPages(s, k)...)
+	}
+	return topPagesAppendCtx(c, m.pages, m.logitsCtx(c, s).Data, k, dst)
+}
+
+// --- baselines ---
+
+func (m *LSTMDelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.logits(s)
+	}
+	return m.head.ForwardCtx(c, m.lstm.ForwardCtx(c, concatStepFeaturesCtx(c, m.cfg, s.Blocks, s.PCs)))
+}
+
+// DeltaScoresCtx implements DeltaScorerCtx.
+func (m *LSTMDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
+	if c == nil {
+		return m.DeltaScores(s)
+	}
+	return c.SigmoidInPlace(m.logitsCtx(c, s)).Data
+}
+
+func (m *LSTMPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.logits(s)
+	}
+	pe := m.pageEmb.ForwardCtx(c, pageTokensCtx(c, m.pages, s.Blocks))
+	ce := m.pcEmb.ForwardCtx(c, pcTokensCtx(c, m.pcs, s.PCs))
+	return m.head.ForwardCtx(c, m.lstm.ForwardCtx(c, c.ConcatCols2(pe, ce)))
+}
+
+// TopPagesAppendCtx implements PageTopperCtx.
+func (m *LSTMPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
+	if c == nil {
+		return append(dst, m.TopPages(s, k)...)
+	}
+	return topPagesAppendCtx(c, m.pages, m.logitsCtx(c, s).Data, k, dst)
+}
+
+func (m *AttnDelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.logits(s)
+	}
+	x := c.Add(m.embed.ForwardCtx(c, concatStepFeaturesCtx(c, m.cfg, s.Blocks, s.PCs)), m.pos)
+	for _, tl := range m.trans {
+		x = tl.ForwardCtx(c, x)
+	}
+	return m.head.ForwardCtx(c, c.MeanRows(x))
+}
+
+// DeltaScoresCtx implements DeltaScorerCtx.
+func (m *AttnDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
+	if c == nil {
+		return m.DeltaScores(s)
+	}
+	return c.SigmoidInPlace(m.logitsCtx(c, s)).Data
+}
+
+func (m *AttnPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.logits(s)
+	}
+	pe := m.pageEmb.ForwardCtx(c, pageTokensCtx(c, m.pages, s.Blocks))
+	side := c.Zeros(len(s.PCs), 1)
+	for i, pc := range s.PCs {
+		side.Data[i] = hashPC(pc)
+	}
+	x := c.Add(m.mix.ForwardCtx(c, c.ConcatCols2(pe, side)), m.pos)
+	for _, tl := range m.trans {
+		x = tl.ForwardCtx(c, x)
+	}
+	return m.head.ForwardCtx(c, c.MeanRows(x))
+}
+
+// TopPagesAppendCtx implements PageTopperCtx.
+func (m *AttnPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
+	if c == nil {
+		return append(dst, m.TopPages(s, k)...)
+	}
+	return topPagesAppendCtx(c, m.pages, m.logitsCtx(c, s).Data, k, dst)
+}
+
+// --- phase-specific wrappers (dispatch then recurse on the fast path) ---
+
+// DeltaScoresCtx implements DeltaScorerCtx by dispatching on s.Phase.
+func (ps *PhaseSpecificDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
+	return DeltaScoresWith(c, ps.modelFor(s.Phase), s)
+}
+
+// TopPagesAppendCtx implements PageTopperCtx by dispatching on s.Phase.
+func (ps *PhaseSpecificPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
+	return TopPagesWith(c, ps.modelFor(s.Phase), s, k, dst)
+}

@@ -29,6 +29,9 @@ func (h *History) Push(block, pc uint64) {
 // Warm reports whether the window is fully populated.
 func (h *History) Warm() bool { return h.count >= h.T }
 
+// CurrentBlock returns the newest block in the window.
+func (h *History) CurrentBlock() uint64 { return h.blocks[h.T-1] }
+
 // Sample snapshots the window as an inference sample with the given phase
 // label (labels are absent: inference only).
 func (h *History) Sample(phase int) *Sample {
@@ -50,6 +53,30 @@ func (h *History) SampleWithTail(phase int, block, pc uint64) *Sample {
 	blocks[h.T-1] = block
 	pcs[h.T-1] = pc
 	return &Sample{Blocks: blocks, PCs: pcs, Phase: phase}
+}
+
+// SampleInto is Sample writing into a caller-owned scratch sample, reusing
+// its slices (zero allocations once the scratch has warmed up). Label
+// fields are cleared: the result is inference-only, like Sample's.
+func (h *History) SampleInto(s *Sample, phase int) *Sample {
+	s.Blocks = append(s.Blocks[:0], h.blocks...)
+	s.PCs = append(s.PCs[:0], h.pcs...)
+	s.Phase = phase
+	s.DeltaBits, s.FuturePages, s.PageTok = nil, nil, 0
+	return s
+}
+
+// SampleWithTailInto is SampleWithTail writing into a caller-owned scratch
+// sample. Callers chaining CSTP predictions need a scratch distinct from
+// any live SampleInto result.
+func (h *History) SampleWithTailInto(s *Sample, phase int, block, pc uint64) *Sample {
+	s.Blocks = append(s.Blocks[:0], h.blocks[1:]...)
+	s.PCs = append(s.PCs[:0], h.pcs[1:]...)
+	s.Blocks = append(s.Blocks, block)
+	s.PCs = append(s.PCs, pc)
+	s.Phase = phase
+	s.DeltaBits, s.FuturePages, s.PageTok = nil, nil, 0
+	return s
 }
 
 // Reset clears the window.

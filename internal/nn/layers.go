@@ -25,7 +25,13 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 
 // Forward applies the layer to x [T x in].
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.AddBias(tensor.MatMul(x, l.W), l.B)
+	return l.ForwardCtx(nil, x)
+}
+
+// ForwardCtx is Forward on the ctx fast path (fused GEMM+bias when c is
+// non-nil, the autograd composition when c is nil).
+func (l *Linear) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	return c.LinearAct(x, l.W, l.B, tensor.ActNone)
 }
 
 // Params implements Module.
@@ -43,7 +49,12 @@ func NewEmbedding(vocab, dim int, rng *rand.Rand) *Embedding {
 
 // Forward looks up ids.
 func (e *Embedding) Forward(ids []int) *tensor.Tensor {
-	return tensor.EmbeddingLookup(e.Table, ids)
+	return e.ForwardCtx(nil, ids)
+}
+
+// ForwardCtx looks up ids on the ctx fast path.
+func (e *Embedding) ForwardCtx(c *tensor.Ctx, ids []int) *tensor.Tensor {
+	return c.EmbeddingLookup(e.Table, ids)
 }
 
 // Params implements Module.
@@ -70,7 +81,12 @@ func NewLayerNorm(dim int) *LayerNorm {
 
 // Forward normalises x rows.
 func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.AddBias(tensor.MulBias(tensor.NormalizeRows(x, l.Eps), l.Gain), l.Bias)
+	return l.ForwardCtx(nil, x)
+}
+
+// ForwardCtx normalises x rows, in one fused pass on the ctx fast path.
+func (l *LayerNorm) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	return c.LayerNorm(x, l.Gain, l.Bias, l.Eps)
 }
 
 // Params implements Module.
@@ -96,11 +112,17 @@ func NewSelfAttention(in, dim int, rng *rand.Rand) *SelfAttention {
 
 // Forward attends over x [T x in] and returns [T x dim].
 func (s *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
-	q := s.Wq.Forward(x)
-	k := s.Wk.Forward(x)
-	v := s.Wv.Forward(x)
-	scores := tensor.Scale(tensor.MatMul(q, tensor.Transpose(k)), 1/math.Sqrt(float64(s.dim)))
-	return tensor.MatMul(tensor.SoftmaxRows(scores), v)
+	return s.ForwardCtx(nil, x)
+}
+
+// ForwardCtx attends over x on the ctx fast path (transpose-free scores,
+// in-place softmax when c is non-nil).
+func (s *SelfAttention) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	q := s.Wq.ForwardCtx(c, x)
+	k := s.Wk.ForwardCtx(c, x)
+	v := s.Wv.ForwardCtx(c, x)
+	scores := c.MatMulNTScale(q, k, 1/math.Sqrt(float64(s.dim)))
+	return c.MatMul(c.SoftmaxRows(scores), v)
 }
 
 // Params implements Module.
@@ -127,11 +149,16 @@ func NewMultiHeadSelfAttention(dim, heads int, rng *rand.Rand) *MultiHeadSelfAtt
 
 // Forward attends over x [T x dim] and returns [T x dim].
 func (m *MultiHeadSelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
-	outs := make([]*tensor.Tensor, len(m.Heads))
+	return m.ForwardCtx(nil, x)
+}
+
+// ForwardCtx attends over x on the ctx fast path.
+func (m *MultiHeadSelfAttention) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	outs := c.Ptrs(len(m.Heads))
 	for i, h := range m.Heads {
-		outs[i] = h.Forward(x)
+		outs[i] = h.ForwardCtx(c, x)
 	}
-	return m.Wo.Forward(tensor.ConcatCols(outs...))
+	return m.Wo.ForwardCtx(c, c.ConcatCols(outs...))
 }
 
 // Params implements Module.
@@ -156,7 +183,13 @@ func NewFFN(dim, hidden int, rng *rand.Rand) *FFN {
 
 // Forward applies max(0, xW1+b1)W2+b2.
 func (f *FFN) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return f.L2.Forward(tensor.ReLU(f.L1.Forward(x)))
+	return f.ForwardCtx(nil, x)
+}
+
+// ForwardCtx applies the FFN with the ReLU fused into the first GEMM on the
+// ctx fast path.
+func (f *FFN) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	return f.L2.ForwardCtx(c, c.LinearAct(x, f.L1.W, f.L1.B, tensor.ActReLU))
 }
 
 // Params implements Module.
@@ -183,8 +216,13 @@ func NewTransformerLayer(dim, heads int, rng *rand.Rand) *TransformerLayer {
 
 // Forward applies the layer to x [T x dim].
 func (t *TransformerLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
-	x = t.N1.Forward(tensor.Add(x, t.MSA.Forward(x)))
-	return t.N2.Forward(tensor.Add(x, t.FF.Forward(x)))
+	return t.ForwardCtx(nil, x)
+}
+
+// ForwardCtx applies the layer on the ctx fast path.
+func (t *TransformerLayer) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	x = t.N1.ForwardCtx(c, c.Add(x, t.MSA.ForwardCtx(c, x)))
+	return t.N2.ForwardCtx(c, c.Add(x, t.FF.ForwardCtx(c, x)))
 }
 
 // Params implements Module.
@@ -205,7 +243,18 @@ func NewMMAF(in, dim int, rng *rand.Rand) *MMAF {
 // Forward fuses the modality sequences (each [Ti x in]) into
 // [ΣTi x dim].
 func (m *MMAF) Forward(modalities ...*tensor.Tensor) *tensor.Tensor {
-	return m.Attn.Forward(tensor.ConcatRows(modalities...))
+	return m.ForwardCtx(nil, modalities...)
+}
+
+// ForwardCtx fuses the modality sequences on the ctx fast path.
+func (m *MMAF) ForwardCtx(c *tensor.Ctx, modalities ...*tensor.Tensor) *tensor.Tensor {
+	return m.Attn.ForwardCtx(c, c.ConcatRows(modalities...))
+}
+
+// ForwardCtx2 fuses exactly two modality sequences — the AMMA hot path —
+// avoiding the escaping variadic slice a ForwardCtx call site would build.
+func (m *MMAF) ForwardCtx2(c *tensor.Ctx, a, b *tensor.Tensor) *tensor.Tensor {
+	return m.Attn.ForwardCtx(c, c.ConcatRows2(a, b))
 }
 
 // Params implements Module.
@@ -231,11 +280,18 @@ func NewMLP(widths []int, rng *rand.Rand) *MLP {
 
 // Forward applies the MLP to x.
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return m.ForwardCtx(nil, x)
+}
+
+// ForwardCtx applies the MLP with ReLUs fused into the hidden GEMMs on the
+// ctx fast path.
+func (m *MLP) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	for i, l := range m.Layers {
-		x = l.Forward(x)
-		if i+1 < len(m.Layers) {
-			x = tensor.ReLU(x)
+		act := tensor.ActReLU
+		if i+1 == len(m.Layers) {
+			act = tensor.ActNone
 		}
+		x = c.LinearAct(x, l.W, l.B, act)
 	}
 	return x
 }

@@ -18,6 +18,11 @@ type MLOptions struct {
 	// LatencyCycles is the model inference latency reported to the
 	// simulator.
 	LatencyCycles uint64
+	// DisableFastPath runs inference on the legacy allocating autograd
+	// path instead of the arena fast path. The legacy path toggles the
+	// global grad flag, so it must not run concurrently with training —
+	// it exists as the perf baseline the benchmarks compare against.
+	DisableFastPath bool
 }
 
 func (o MLOptions) withDefaults() MLOptions {
@@ -30,18 +35,49 @@ func (o MLOptions) withDefaults() MLOptions {
 	return o
 }
 
+// newCtx builds the per-prefetcher inference arena (nil = legacy path).
+func (o MLOptions) newCtx() *tensor.Ctx {
+	if o.DisableFastPath {
+		return nil
+	}
+	return tensor.NewCtx()
+}
+
+// inferGate bundles the warmup/throttle logic shared by every ML
+// prefetcher: push the access into the history window, then gate inference
+// on the window being warm and on the InferEvery throttle.
+type inferGate struct {
+	hist  *models.History
+	every int
+	tick  int
+}
+
+func newInferGate(historyT, inferEvery int) inferGate {
+	return inferGate{hist: models.NewHistory(historyT), every: inferEvery}
+}
+
+// observe records the access and reports whether to infer on this tick.
+func (g *inferGate) observe(block, pc uint64) bool {
+	g.hist.Push(block, pc)
+	g.tick++
+	return g.hist.Warm() && g.tick%g.every == 0
+}
+
 // DeltaLSTM is the Delta-LSTM baseline (Hashemi et al. 2018): a pretrained
 // LSTM over delta/PC history predicting the top future deltas.
 type DeltaLSTM struct {
-	opt   MLOptions
-	model models.DeltaModel
-	hist  *models.History
-	tick  int
+	opt     MLOptions
+	model   models.DeltaModel
+	gate    inferGate
+	ctx     *tensor.Ctx
+	scratch models.Sample
+	out     []uint64
 }
 
 // NewDeltaLSTM wraps a trained delta model (expected: models.LSTMDelta).
 func NewDeltaLSTM(model models.DeltaModel, historyT int, opt MLOptions) *DeltaLSTM {
-	return &DeltaLSTM{opt: opt.withDefaults(), model: model, hist: models.NewHistory(historyT)}
+	opt = opt.withDefaults()
+	return &DeltaLSTM{opt: opt, model: model, gate: newInferGate(historyT, opt.InferEvery), ctx: opt.newCtx()}
 }
 
 // Name implements sim.Prefetcher.
@@ -52,28 +88,35 @@ func (p *DeltaLSTM) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles
 
 // Operate implements sim.Prefetcher.
 func (p *DeltaLSTM) Operate(acc sim.LLCAccess) []uint64 {
-	p.hist.Push(acc.Block, acc.PC)
-	p.tick++
-	if !p.hist.Warm() || p.tick%p.opt.InferEvery != 0 {
+	if !p.gate.observe(acc.Block, acc.PC) {
 		return nil
 	}
-	restore := tensor.SetGradEnabled(false)
-	defer tensor.SetGradEnabled(restore)
-	return deltaPrefetches(p.model, p.hist.Sample(0), acc.Block, p.opt.Degree)
+	if p.ctx == nil {
+		restore := tensor.SetGradEnabled(false)
+		defer tensor.SetGradEnabled(restore)
+		return deltaPrefetches(p.model, p.gate.hist.Sample(0), acc.Block, p.opt.Degree)
+	}
+	defer p.ctx.Reset()
+	s := p.gate.hist.SampleInto(&p.scratch, 0)
+	p.out = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	return p.out
 }
 
 // TransFetch is the TransFetch baseline (Zhang et al. 2022): an
 // attention-based delta predictor with fine-grained address segmentation.
 type TransFetch struct {
-	opt   MLOptions
-	model models.DeltaModel
-	hist  *models.History
-	tick  int
+	opt     MLOptions
+	model   models.DeltaModel
+	gate    inferGate
+	ctx     *tensor.Ctx
+	scratch models.Sample
+	out     []uint64
 }
 
 // NewTransFetch wraps a trained delta model (expected: models.AttnDelta).
 func NewTransFetch(model models.DeltaModel, historyT int, opt MLOptions) *TransFetch {
-	return &TransFetch{opt: opt.withDefaults(), model: model, hist: models.NewHistory(historyT)}
+	opt = opt.withDefaults()
+	return &TransFetch{opt: opt, model: model, gate: newInferGate(historyT, opt.InferEvery), ctx: opt.newCtx()}
 }
 
 // Name implements sim.Prefetcher.
@@ -84,14 +127,18 @@ func (p *TransFetch) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycle
 
 // Operate implements sim.Prefetcher.
 func (p *TransFetch) Operate(acc sim.LLCAccess) []uint64 {
-	p.hist.Push(acc.Block, acc.PC)
-	p.tick++
-	if !p.hist.Warm() || p.tick%p.opt.InferEvery != 0 {
+	if !p.gate.observe(acc.Block, acc.PC) {
 		return nil
 	}
-	restore := tensor.SetGradEnabled(false)
-	defer tensor.SetGradEnabled(restore)
-	return deltaPrefetches(p.model, p.hist.Sample(0), acc.Block, p.opt.Degree)
+	if p.ctx == nil {
+		restore := tensor.SetGradEnabled(false)
+		defer tensor.SetGradEnabled(restore)
+		return deltaPrefetches(p.model, p.gate.hist.Sample(0), acc.Block, p.opt.Degree)
+	}
+	defer p.ctx.Reset()
+	s := p.gate.hist.SampleInto(&p.scratch, 0)
+	p.out = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	return p.out
 }
 
 // Voyager is the Voyager baseline (Shi et al. 2021): two models — a page
@@ -102,19 +149,24 @@ type Voyager struct {
 	opt        MLOptions
 	pageModel  models.PageModel
 	deltaModel models.DeltaModel
-	hist       *models.History
+	gate       inferGate
+	ctx        *tensor.Ctx
+	scratch    models.Sample
+	out        []uint64
+	pages      []uint64
 	lastOffset map[uint64]uint64
 	fifo       []uint64
-	tick       int
 }
 
 // NewVoyager wraps trained page and delta models (expected: LSTM-based).
 func NewVoyager(pageModel models.PageModel, deltaModel models.DeltaModel, historyT int, opt MLOptions) *Voyager {
+	opt = opt.withDefaults()
 	return &Voyager{
-		opt:        opt.withDefaults(),
+		opt:        opt,
 		pageModel:  pageModel,
 		deltaModel: deltaModel,
-		hist:       models.NewHistory(historyT),
+		gate:       newInferGate(historyT, opt.InferEvery),
+		ctx:        opt.newCtx(),
 		lastOffset: make(map[uint64]uint64),
 	}
 }
@@ -136,20 +188,28 @@ func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
 		p.fifo = append(p.fifo, page)
 	}
 	p.lastOffset[page] = trace.BlockOffset(acc.Block)
-	p.hist.Push(acc.Block, acc.PC)
-	p.tick++
-	if !p.hist.Warm() || p.tick%p.opt.InferEvery != 0 {
+	if !p.gate.observe(acc.Block, acc.PC) {
 		return nil
 	}
-	restore := tensor.SetGradEnabled(false)
-	defer tensor.SetGradEnabled(restore)
+	if p.ctx == nil {
+		restore := tensor.SetGradEnabled(false)
+		defer tensor.SetGradEnabled(restore)
+		return p.predict(nil, p.gate.hist.Sample(0), acc.Block, nil)
+	}
+	defer p.ctx.Reset()
+	s := p.gate.hist.SampleInto(&p.scratch, 0)
+	p.out = p.predict(p.ctx, s, acc.Block, p.out[:0])
+	return p.out
+}
 
-	s := p.hist.Sample(0)
-	// Half the degree goes spatially at the current block, half at the
-	// predicted page.
+// predict composes the page and delta model outputs into prefetch targets:
+// half the degree goes spatially at the current block, half at the
+// predicted page.
+func (p *Voyager) predict(c *tensor.Ctx, s *models.Sample, block uint64, out []uint64) []uint64 {
 	half := p.opt.Degree / 2
-	out := deltaPrefetches(p.deltaModel, s, acc.Block, half)
-	for _, pg := range p.pageModel.TopPages(s, 1) {
+	out = deltaPrefetchesAppend(c, p.deltaModel, s, block, half, out)
+	p.pages = models.TopPagesWith(c, p.pageModel, s, 1, p.pages[:0])
+	for _, pg := range p.pages {
 		off, ok := p.lastOffset[pg]
 		if !ok {
 			off = 0
@@ -158,7 +218,7 @@ func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
 		out = append(out, base)
 		rest := p.opt.Degree - len(out)
 		if rest > 0 {
-			out = append(out, deltaPrefetches(p.deltaModel, s, base, rest)...)
+			out = deltaPrefetchesAppend(c, p.deltaModel, s, base, rest, out)
 		}
 	}
 	if len(out) > p.opt.Degree {
@@ -168,15 +228,24 @@ func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
 }
 
 // deltaPrefetches converts a delta model's top-k classes into block
-// addresses relative to base.
+// addresses relative to base (the allocating legacy entry point).
 func deltaPrefetches(m models.DeltaModel, s *models.Sample, base uint64, k int) []uint64 {
 	if k <= 0 {
 		return nil
 	}
-	scores := m.DeltaScores(s)
+	return deltaPrefetchesAppend(nil, m, s, base, k, make([]uint64, 0, k))
+}
+
+// deltaPrefetchesAppend appends up to k prefetch targets derived from the
+// delta model's top classes to dst. With a non-nil ctx the scores, ranking
+// scratch and result all reuse per-prefetcher buffers.
+func deltaPrefetchesAppend(c *tensor.Ctx, m models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) []uint64 {
+	if k <= 0 {
+		return dst
+	}
+	scores := models.DeltaScoresWith(c, m, s)
 	cfgRange := len(scores) / 2
-	out := make([]uint64, 0, k)
-	for _, cls := range models.TopKClasses(scores, k) {
+	for _, cls := range models.TopKClassesCtx(c, scores, k) {
 		var delta int64
 		if cls < cfgRange {
 			delta = int64(cls) - int64(cfgRange)
@@ -185,8 +254,8 @@ func deltaPrefetches(m models.DeltaModel, s *models.Sample, base uint64, k int) 
 		}
 		target := int64(base) + delta
 		if target >= 0 {
-			out = append(out, uint64(target))
+			dst = append(dst, uint64(target))
 		}
 	}
-	return out
+	return dst
 }

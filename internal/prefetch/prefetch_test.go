@@ -121,8 +121,9 @@ func TestISBBoundedTable(t *testing.T) {
 }
 
 // tinyTrainedModels trains the small baseline models on a short synthetic
-// stream and returns them with the dataset.
-func tinyTrainedModels(t *testing.T) (*models.Dataset, models.DeltaModel, models.PageModel) {
+// stream and returns them with the dataset (testing.TB: the Operate
+// benchmarks share it).
+func tinyTrainedModels(t testing.TB) (*models.Dataset, models.DeltaModel, models.PageModel) {
 	t.Helper()
 	cfg := models.SmallConfig()
 	var stream []trace.Access

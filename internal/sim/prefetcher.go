@@ -28,7 +28,10 @@ type Prefetcher interface {
 	// Name identifies the prefetcher in reports.
 	Name() string
 	// Operate observes acc and returns block addresses to prefetch into the
-	// LLC. Returning nil issues nothing.
+	// LLC. Returning nil issues nothing. The returned slice is only valid
+	// until the next Operate call: the engine consumes it immediately and
+	// never retains it, so implementations may return a reused buffer
+	// (the ML prefetchers' zero-allocation fast path depends on this).
 	Operate(acc LLCAccess) []uint64
 }
 

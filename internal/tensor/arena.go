@@ -1,0 +1,147 @@
+package tensor
+
+// This file implements the inference scratch arena (DESIGN.md §8). Steady-
+// state prefetcher inference runs the same model shapes every Operate call;
+// the arena turns that into zero heap allocations per call: every tensor
+// header, data slice, token buffer and pointer slice comes from a bump
+// allocator that is rewound with Reset() between forwards.
+//
+// A Ctx is single-goroutine by construction — each prefetcher instance owns
+// one — so no locking is needed, and the parallel experiment scheduler can
+// run many simulations concurrently with one arena each.
+
+// slab is a typed bump allocator. take hands out zeroed sub-slices of one
+// backing buffer; when the buffer is exhausted it falls back to plain
+// allocation and records the high-water mark so the next reset grows the
+// buffer to cover it. After the first few calls of a fixed-shape workload
+// the buffer has reached steady state and take never allocates again.
+type slab[T any] struct {
+	buf []T
+	off int
+	// need is the total requested since the last reset (the high-water
+	// mark the buffer grows to).
+	need int
+}
+
+// take returns a zeroed slice of n elements, capacity-clamped so appends
+// cannot silently bleed into a neighbouring allocation.
+func (s *slab[T]) take(n int) []T {
+	s.need += n
+	if s.off+n <= len(s.buf) {
+		out := s.buf[s.off : s.off+n : s.off+n]
+		s.off = s.off + n
+		clear(out)
+		return out
+	}
+	return make([]T, n)
+}
+
+// takeUninit is take without the zeroing pass, for callers that overwrite
+// every element before reading (fused kernels, concats, lookups). The
+// contents are whatever the previous arena round left behind.
+func (s *slab[T]) takeUninit(n int) []T {
+	s.need += n
+	if s.off+n <= len(s.buf) {
+		out := s.buf[s.off : s.off+n : s.off+n]
+		s.off = s.off + n
+		return out
+	}
+	return make([]T, n)
+}
+
+// reset rewinds the slab, growing the backing buffer to the high-water mark
+// of the round just finished so the next round allocates nothing.
+func (s *slab[T]) reset() {
+	if s.need > len(s.buf) {
+		s.buf = make([]T, s.need)
+	}
+	s.off = 0
+	s.need = 0
+}
+
+// Ctx is an inference execution context: a scratch arena plus the graph-free
+// fast-path ops defined in fastops.go. The nil *Ctx is valid and means "no
+// fast path": every op method on a nil receiver falls back to the package
+// autograd op, so model code can thread one ctx parameter through both
+// training (nil) and inference (non-nil) without branching at call sites.
+//
+// Tensors returned by Ctx ops are arena-backed: their Data is only valid
+// until the next Reset, they never carry graph edges, and they must not be
+// stored in model state or passed to Backward.
+type Ctx struct {
+	f64  slab[float64]
+	ints slab[int]
+	ts   slab[Tensor]
+	ptrs slab[*Tensor]
+}
+
+// NewCtx returns an empty inference context. Buffers are grown on demand
+// during the first forwards and reach a fixed point once every shape has
+// been seen.
+func NewCtx() *Ctx { return &Ctx{} }
+
+// Reset rewinds the arena. All tensors previously returned by this ctx are
+// invalidated. Safe on a nil receiver (no-op) so call sites can
+// unconditionally `defer ctx.Reset()`.
+func (c *Ctx) Reset() {
+	if c == nil {
+		return
+	}
+	c.f64.reset()
+	c.ints.reset()
+	c.ts.reset()
+	c.ptrs.reset()
+}
+
+// zeros allocates an arena-backed rows x cols tensor (data zeroed).
+func (c *Ctx) zeros(rows, cols int) *Tensor {
+	t := &c.ts.take(1)[0]
+	t.Rows = rows
+	t.Cols = cols
+	t.Data = c.f64.take(rows * cols)
+	return t
+}
+
+// uninit allocates an arena-backed rows x cols tensor without zeroing its
+// data. Only for ops that overwrite every element before returning —
+// anything else would leak values across Reset rounds.
+func (c *Ctx) uninit(rows, cols int) *Tensor {
+	t := &c.ts.take(1)[0]
+	t.Rows = rows
+	t.Cols = cols
+	t.Data = c.f64.takeUninit(rows * cols)
+	return t
+}
+
+// view allocates an arena-backed tensor header over existing data.
+func (c *Ctx) view(rows, cols int, data []float64) *Tensor {
+	t := &c.ts.take(1)[0]
+	t.Rows = rows
+	t.Cols = cols
+	t.Data = data
+	return t
+}
+
+// Floats returns a zeroed arena-backed []float64 of length n.
+func (c *Ctx) Floats(n int) []float64 {
+	if c == nil {
+		return make([]float64, n)
+	}
+	return c.f64.take(n)
+}
+
+// Ints returns a zeroed arena-backed []int of length n (token buffers).
+func (c *Ctx) Ints(n int) []int {
+	if c == nil {
+		return make([]int, n)
+	}
+	return c.ints.take(n)
+}
+
+// Ptrs returns a zeroed arena-backed []*Tensor of length n.
+func (c *Ctx) Ptrs(n int) []*Tensor {
+	if c == nil {
+		return make([]*Tensor, n)
+	}
+	return c.ptrs.take(n)
+}

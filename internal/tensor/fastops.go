@@ -1,0 +1,349 @@
+package tensor
+
+import (
+	"math"
+
+	"mpgraph/internal/invariant"
+)
+
+// Graph-free fast-path ops. Every method on *Ctx mirrors one package op (or
+// a fused composition of several) and dispatches on the receiver: a nil Ctx
+// runs the exact autograd op so the training path is untouched; a non-nil
+// Ctx runs an arena-backed kernel that builds no graph and allocates
+// nothing once the arena has warmed up.
+//
+// Aliasing contract: fast-path results live in the arena until the next
+// Reset, and in-place ops (SoftmaxRows, SigmoidInPlace) may overwrite their
+// input. Callers on the hot path treat op inputs as consumed.
+
+// Zeros returns a zero rows x cols tensor (arena-backed when c is non-nil).
+func (c *Ctx) Zeros(rows, cols int) *Tensor {
+	if c == nil {
+		return Zeros(rows, cols)
+	}
+	return c.zeros(rows, cols)
+}
+
+// MatMul returns a@b.
+func (c *Ctx) MatMul(a, b *Tensor) *Tensor {
+	if c == nil {
+		return MatMul(a, b)
+	}
+	if a.Cols != b.Rows {
+		invariant.Failf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := c.zeros(a.Rows, b.Cols)
+	gemm(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
+	return out
+}
+
+// Add returns a+b elementwise.
+func (c *Ctx) Add(a, b *Tensor) *Tensor {
+	if c == nil {
+		return Add(a, b)
+	}
+	checkSameShape("add", a, b)
+	out := c.uninit(a.Rows, a.Cols)
+	for i, av := range a.Data {
+		out.Data[i] = av + b.Data[i]
+	}
+	return out
+}
+
+// AddBias adds row vector bias [1 x n] to every row of a.
+func (c *Ctx) AddBias(a, bias *Tensor) *Tensor {
+	if c == nil {
+		return AddBias(a, bias)
+	}
+	if bias.Rows != 1 || bias.Cols != a.Cols {
+		invariant.Failf("tensor: addbias %dx%d + %dx%d", a.Rows, a.Cols, bias.Rows, bias.Cols)
+	}
+	out := c.uninit(a.Rows, a.Cols)
+	for r := 0; r < a.Rows; r++ {
+		base := r * a.Cols
+		for j, bv := range bias.Data {
+			out.Data[base+j] = a.Data[base+j] + bv
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies row-wise softmax. The fast path runs in place and
+// returns its input; callers must not reuse the pre-softmax values.
+func (c *Ctx) SoftmaxRows(a *Tensor) *Tensor {
+	if c == nil {
+		return SoftmaxRows(a)
+	}
+	for r := 0; r < a.Rows; r++ {
+		softmaxInPlace(a.Data[r*a.Cols : (r+1)*a.Cols])
+	}
+	return a
+}
+
+// softmaxInPlace applies a numerically-stable softmax to one row.
+func softmaxInPlace(row []float64) {
+	maxV := math.Inf(-1)
+	for _, v := range row {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range row {
+		e := math.Exp(v - maxV)
+		row[i] = e
+		sum += e
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+// SigmoidInPlace applies the logistic function. The fast path runs in place
+// and returns its input; the nil path returns a fresh graph tensor.
+func (c *Ctx) SigmoidInPlace(a *Tensor) *Tensor {
+	if c == nil {
+		return Sigmoid(a)
+	}
+	applyAct(a.Data, ActSigmoid)
+	return a
+}
+
+// RowView returns row r of a as a 1 x Cols tensor. The fast path is a
+// zero-copy view sharing a's data.
+func (c *Ctx) RowView(a *Tensor, r int) *Tensor {
+	if c == nil {
+		return SliceRows(a, r, r+1)
+	}
+	if r < 0 || r >= a.Rows {
+		invariant.Failf("tensor: RowView %d of %d rows", r, a.Rows)
+	}
+	return c.view(1, a.Cols, a.Data[r*a.Cols:(r+1)*a.Cols])
+}
+
+// ConcatRows stacks tensors vertically (same Cols).
+func (c *Ctx) ConcatRows(ts ...*Tensor) *Tensor {
+	if c == nil {
+		return ConcatRows(ts...)
+	}
+	if len(ts) == 0 {
+		invariant.Fail("tensor: ConcatRows of nothing")
+	}
+	cols := ts[0].Cols
+	rows := 0
+	for _, t := range ts {
+		if t.Cols != cols {
+			invariant.Fail("tensor: ConcatRows column mismatch")
+		}
+		rows += t.Rows
+	}
+	out := c.uninit(rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
+// ConcatCols stacks tensors horizontally (same Rows).
+func (c *Ctx) ConcatCols(ts ...*Tensor) *Tensor {
+	if c == nil {
+		return ConcatCols(ts...)
+	}
+	if len(ts) == 0 {
+		invariant.Fail("tensor: ConcatCols of nothing")
+	}
+	rows := ts[0].Rows
+	cols := 0
+	for _, t := range ts {
+		if t.Rows != rows {
+			invariant.Fail("tensor: ConcatCols row mismatch")
+		}
+		cols += t.Cols
+	}
+	out := c.uninit(rows, cols)
+	colOff := 0
+	for _, t := range ts {
+		for r := 0; r < rows; r++ {
+			copy(out.Data[r*cols+colOff:r*cols+colOff+t.Cols], t.Data[r*t.Cols:(r+1)*t.Cols])
+		}
+		colOff += t.Cols
+	}
+	return out
+}
+
+// ConcatRows2 is ConcatRows for exactly two tensors — the arity the models'
+// hot paths use. A variadic call site builds an escaping []*Tensor on the
+// heap; the fixed-arity form keeps steady-state inference allocation-free.
+func (c *Ctx) ConcatRows2(a, b *Tensor) *Tensor {
+	if c == nil {
+		return ConcatRows(a, b)
+	}
+	if a.Cols != b.Cols {
+		invariant.Fail("tensor: ConcatRows column mismatch")
+	}
+	out := c.uninit(a.Rows+b.Rows, a.Cols)
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// ConcatCols2 is ConcatCols for exactly two tensors (see ConcatRows2).
+func (c *Ctx) ConcatCols2(a, b *Tensor) *Tensor {
+	if c == nil {
+		return ConcatCols(a, b)
+	}
+	if a.Rows != b.Rows {
+		invariant.Fail("tensor: ConcatCols row mismatch")
+	}
+	rows, cols := a.Rows, a.Cols+b.Cols
+	out := c.uninit(rows, cols)
+	for r := 0; r < rows; r++ {
+		copy(out.Data[r*cols:], a.Data[r*a.Cols:(r+1)*a.Cols])
+		copy(out.Data[r*cols+a.Cols:], b.Data[r*b.Cols:(r+1)*b.Cols])
+	}
+	return out
+}
+
+// MeanRows returns the column-wise mean as a 1 x Cols tensor.
+func (c *Ctx) MeanRows(a *Tensor) *Tensor {
+	if c == nil {
+		return MeanRows(a)
+	}
+	out := c.zeros(1, a.Cols)
+	inv := 1.0 / float64(a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		base := r * a.Cols
+		for j := range out.Data {
+			out.Data[j] += a.Data[base+j] * inv
+		}
+	}
+	return out
+}
+
+// EmbeddingLookup gathers rows of table by ids.
+func (c *Ctx) EmbeddingLookup(table *Tensor, ids []int) *Tensor {
+	if c == nil {
+		return EmbeddingLookup(table, ids)
+	}
+	for _, id := range ids {
+		if id < 0 || id >= table.Rows {
+			invariant.Failf("tensor: embedding id %d out of [0,%d)", id, table.Rows)
+		}
+	}
+	out := c.uninit(len(ids), table.Cols)
+	for i, id := range ids {
+		copy(out.Data[i*table.Cols:(i+1)*table.Cols], table.Data[id*table.Cols:(id+1)*table.Cols])
+	}
+	return out
+}
+
+// LinearAct returns act(x@w + bias) as one fused kernel (bias may be nil).
+func (c *Ctx) LinearAct(x, w, bias *Tensor, act Act) *Tensor {
+	if c == nil {
+		out := MatMul(x, w)
+		if bias != nil {
+			out = AddBias(out, bias)
+		}
+		return applyActGraph(out, act)
+	}
+	if x.Cols != w.Rows {
+		invariant.Failf("tensor: linear %dx%d @ %dx%d", x.Rows, x.Cols, w.Rows, w.Cols)
+	}
+	out := c.uninit(x.Rows, w.Cols)
+	var bd []float64
+	if bias != nil {
+		if bias.Rows != 1 || bias.Cols != w.Cols {
+			invariant.Failf("tensor: linear bias %dx%d for width %d", bias.Rows, bias.Cols, w.Cols)
+		}
+		bd = bias.Data
+	}
+	gemmBiasAct(out.Data, x.Data, w.Data, bd, x.Rows, x.Cols, w.Cols, act)
+	return out
+}
+
+// Linear2Act returns act(x1@w1 + x2@w2 + bias) as one fused kernel — the
+// LSTM gate composition (input product plus recurrent product).
+func (c *Ctx) Linear2Act(x1, w1, x2, w2, bias *Tensor, act Act) *Tensor {
+	if c == nil {
+		out := Add(MatMul(x1, w1), MatMul(x2, w2))
+		if bias != nil {
+			out = AddBias(out, bias)
+		}
+		return applyActGraph(out, act)
+	}
+	if x1.Cols != w1.Rows || x2.Cols != w2.Rows || x1.Rows != x2.Rows || w1.Cols != w2.Cols {
+		invariant.Failf("tensor: linear2 %dx%d@%dx%d + %dx%d@%dx%d",
+			x1.Rows, x1.Cols, w1.Rows, w1.Cols, x2.Rows, x2.Cols, w2.Rows, w2.Cols)
+	}
+	out := c.uninit(x1.Rows, w1.Cols)
+	var bd []float64
+	if bias != nil {
+		bd = bias.Data
+	}
+	gemm2BiasAct(out.Data, x1.Data, w1.Data, x2.Data, w2.Data, bd,
+		x1.Rows, x1.Cols, x2.Cols, w1.Cols, act)
+	return out
+}
+
+// MatMulNTScale returns (a@b^T)·s — attention scores QKᵀ/√d without
+// materialising the transpose.
+func (c *Ctx) MatMulNTScale(a, b *Tensor, s float64) *Tensor {
+	if c == nil {
+		return Scale(MatMul(a, Transpose(b)), s)
+	}
+	if a.Cols != b.Cols {
+		invariant.Failf("tensor: matmulNT %dx%d @ (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := c.uninit(a.Rows, b.Rows)
+	gemmNTScale(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Rows, s)
+	return out
+}
+
+// LayerNorm normalises each row of x and applies gain and bias in a single
+// fused pass (the nn.LayerNorm composition).
+func (c *Ctx) LayerNorm(x, gain, bias *Tensor, eps float64) *Tensor {
+	if c == nil {
+		return AddBias(MulBias(NormalizeRows(x, eps), gain), bias)
+	}
+	if gain.Cols != x.Cols || bias.Cols != x.Cols {
+		invariant.Failf("tensor: layernorm gain/bias width for %dx%d", x.Rows, x.Cols)
+	}
+	out := c.uninit(x.Rows, x.Cols)
+	n := float64(x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Data[r*x.Cols : (r+1)*x.Cols]
+		orow := out.Data[r*x.Cols : (r+1)*x.Cols]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= n
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= n
+		inv := 1 / math.Sqrt(variance+eps)
+		for j, v := range row {
+			orow[j] = (v-mean)*inv*gain.Data[j] + bias.Data[j]
+		}
+	}
+	return out
+}
+
+// applyActGraph is the autograd (nil-ctx) epilogue matching applyAct.
+func applyActGraph(t *Tensor, act Act) *Tensor {
+	switch act {
+	case ActReLU:
+		return ReLU(t)
+	case ActSigmoid:
+		return Sigmoid(t)
+	case ActTanh:
+		return Tanh(t)
+	default:
+		return t
+	}
+}

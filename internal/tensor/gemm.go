@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"runtime"
 	"sync"
 )
@@ -9,45 +10,159 @@ import (
 // goroutines; small model matrices stay single-threaded to avoid overhead.
 const gemmParallelThreshold = 1 << 18
 
+// maddRow computes orow += av * brow, 4-way unrolled. The explicit slicing
+// lets the compiler drop per-element bounds checks; the unroll roughly
+// halves loop overhead on the madd-dominated inference kernels.
+func maddRow(orow, brow []float64, av float64) {
+	n := len(brow)
+	orow = orow[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		orow[j] += av * brow[j]
+		orow[j+1] += av * brow[j+1]
+		orow[j+2] += av * brow[j+2]
+		orow[j+3] += av * brow[j+3]
+	}
+	for ; j < n; j++ {
+		orow[j] += av * brow[j]
+	}
+}
+
+// maddRows4 computes orow += a0·b0 + a1·b1 + a2·b2 + a3·b3 in one pass,
+// loading and storing each orow element once for four accumulated rows
+// instead of four times — the madd kernels are store-bound, so this
+// register blocking is the main single-thread GEMM win.
+func maddRows4(orow, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	n := len(orow)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for j := 0; j < n; j++ {
+		orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// maddPanel computes orow += arow @ b for one output row, blocking the
+// shared dimension four rows of b at a time (remainder via maddRow). The
+// all-zero block skip keeps one-hot and ReLU-sparse inputs cheap.
+func maddPanel(orow, arow, b []float64, n int) {
+	k := len(arow)
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		maddRows4(orow,
+			b[p*n:(p+1)*n], b[(p+1)*n:(p+2)*n],
+			b[(p+2)*n:(p+3)*n], b[(p+3)*n:(p+4)*n],
+			a0, a1, a2, a3)
+	}
+	for ; p < k; p++ {
+		if av := arow[p]; av != 0 {
+			maddRow(orow, b[p*n:(p+1)*n], av)
+		}
+	}
+}
+
+// dotRows returns the dot product of two equal-length rows, 4-way unrolled
+// with independent partial sums so the FMAs pipeline.
+func dotRows(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
 // gemm computes out += a@b with a [m x k] row-major, b [k x n] row-major.
 // out must be zeroed (callers allocate fresh) or hold a partial sum that the
 // product should accumulate into (gradient accumulation relies on +=).
+// The serial case calls gemmRows directly: building the parallelRows
+// closure heap-allocates (it escapes into goroutines), which would break
+// the zero-allocation inference path.
 func gemm(out, a, b []float64, m, k, n int) {
-	body := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := out[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
+	if !shouldParallel(m, m*k*n) {
+		gemmRows(out, a, b, k, n, 0, m)
+		return
+	}
+	parallelRows(func(r0, r1 int) { gemmRows(out, a, b, k, n, r0, r1) }, m, m*k*n)
+}
+
+func gemmRows(out, a, b []float64, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		maddPanel(out[i*n:(i+1)*n], a[i*k:(i+1)*k], b, n)
+	}
+}
+
+// dotRows4 returns arow's dot product with four b rows in one pass, so
+// arow is streamed once per four output columns instead of once each.
+func dotRows4(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	n := len(a)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for j := 0; j < n; j++ {
+		av := a[j]
+		s0 += av * b0[j]
+		s1 += av * b1[j]
+		s2 += av * b2[j]
+		s3 += av * b3[j]
+	}
+	return
+}
+
+// dotPanel computes orow[j] = [orow[j] +] dot(arow, b-row j)·s for all n
+// output columns, blocked four columns at a time. acc selects accumulate
+// (the gemm += contract) versus overwrite (fused kernels on uninitialised
+// arena buffers).
+func dotPanel(orow, arow, b []float64, k, n int, s float64, acc bool) {
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		s0, s1, s2, s3 := dotRows4(arow,
+			b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k],
+			b[(j+2)*k:(j+3)*k], b[(j+3)*k:(j+4)*k])
+		if acc {
+			orow[j] += s0 * s
+			orow[j+1] += s1 * s
+			orow[j+2] += s2 * s
+			orow[j+3] += s3 * s
+		} else {
+			orow[j] = s0 * s
+			orow[j+1] = s1 * s
+			orow[j+2] = s2 * s
+			orow[j+3] = s3 * s
 		}
 	}
-	parallelRows(body, m, m*k*n)
+	for ; j < n; j++ {
+		d := dotRows(arow, b[j*k:(j+1)*k]) * s
+		if acc {
+			orow[j] += d
+		} else {
+			orow[j] = d
+		}
+	}
 }
 
 // gemmNT computes out += a@b^T with a [m x k], b [n x k] (so b^T is [k x n]).
 func gemmNT(out, a, b []float64, m, k, n int) {
-	body := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := out[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b[j*k : (j+1)*k]
-				s := 0.0
-				for p := range arow {
-					s += arow[p] * brow[p]
-				}
-				orow[j] += s
-			}
-		}
+	if !shouldParallel(m, m*k*n) {
+		gemmNTRows(out, a, b, k, n, 0, m)
+		return
 	}
-	parallelRows(body, m, m*k*n)
+	parallelRows(func(r0, r1 int) { gemmNTRows(out, a, b, k, n, r0, r1) }, m, m*k*n)
+}
+
+func gemmNTRows(out, a, b []float64, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		dotPanel(out[i*n:(i+1)*n], a[i*k:(i+1)*k], b, k, n, 1, true)
+	}
 }
 
 // gemmTN computes out += a^T@b with a [r x m], b [r x n] (so a^T is [m x r]).
@@ -90,14 +205,105 @@ func gemmTN(out, a, b []float64, m, r, n int) {
 	parallelRows(body, m, m*r*n)
 }
 
+// --- fused inference kernels ---
+//
+// The fast path (arena.go, fastops.go) fuses GEMM, bias and activation into
+// one kernel per layer so steady-state inference makes a single pass over
+// the output row instead of three ops with three intermediate tensors. The
+// fused kernels are deliberately single-threaded: inference matrices are
+// [HistoryT x dim] sized (far below gemmParallelThreshold) and the parallel
+// experiment scheduler already saturates the cores one simulation per
+// worker, so nested fan-out would only add overhead and nondeterminism.
+
+// Act selects the activation fused into a kernel epilogue.
+type Act int
+
+// Activation kinds understood by the fused kernels.
+const (
+	ActNone Act = iota
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+// applyAct applies act to row in place.
+func applyAct(row []float64, act Act) {
+	switch act {
+	case ActReLU:
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			}
+		}
+	case ActSigmoid:
+		for i, v := range row {
+			row[i] = 1 / (1 + math.Exp(-v))
+		}
+	case ActTanh:
+		for i, v := range row {
+			row[i] = math.Tanh(v)
+		}
+	}
+}
+
+// gemmBiasAct computes out = act(a@b + bias) with a [m x k], b [k x n] and
+// bias [n] (nil for no bias), overwriting out.
+func gemmBiasAct(out, a, b, bias []float64, m, k, n int, act Act) {
+	for i := 0; i < m; i++ {
+		orow := out[i*n : (i+1)*n]
+		clear(orow)
+		maddPanel(orow, a[i*k:(i+1)*k], b, n)
+		if bias != nil {
+			for j, bv := range bias {
+				orow[j] += bv
+			}
+		}
+		applyAct(orow, act)
+	}
+}
+
+// gemm2BiasAct computes out = act(a1@b1 + a2@b2 + bias) — the LSTM gate
+// shape (input and recurrent product sharing one epilogue). a1 [m x k1],
+// b1 [k1 x n], a2 [m x k2], b2 [k2 x n], bias [n] (nil for none).
+func gemm2BiasAct(out, a1, b1, a2, b2, bias []float64, m, k1, k2, n int, act Act) {
+	for i := 0; i < m; i++ {
+		orow := out[i*n : (i+1)*n]
+		clear(orow)
+		maddPanel(orow, a1[i*k1:(i+1)*k1], b1, n)
+		maddPanel(orow, a2[i*k2:(i+1)*k2], b2, n)
+		if bias != nil {
+			for j, bv := range bias {
+				orow[j] += bv
+			}
+		}
+		applyAct(orow, act)
+	}
+}
+
+// gemmNTScale computes out = (a@b^T)·s with a [m x k], b [n x k] — the
+// attention-score shape QKᵀ/√d without materialising the transpose.
+func gemmNTScale(out, a, b []float64, m, k, n int, s float64) {
+	for i := 0; i < m; i++ {
+		dotPanel(out[i*n:(i+1)*n], a[i*k:(i+1)*k], b, k, n, s, false)
+	}
+}
+
+// shouldParallel reports whether parallelRows would actually fan out —
+// callers with an allocation-free serial variant check it first so the
+// escaping body closure is only built when goroutines will run it.
+func shouldParallel(rows, flops int) bool {
+	workers := runtime.GOMAXPROCS(0)
+	return flops >= gemmParallelThreshold && workers > 1 && rows >= 2*workers
+}
+
 // parallelRows splits [0,rows) across workers when the flop estimate is
 // large enough.
 func parallelRows(body func(r0, r1 int), rows, flops int) {
-	workers := runtime.GOMAXPROCS(0)
-	if flops < gemmParallelThreshold || workers <= 1 || rows < 2*workers {
+	if !shouldParallel(rows, flops) {
 		body(0, rows)
 		return
 	}
+	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
 	}
