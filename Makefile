@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench ci
+.PHONY: all build vet lint test race bench faultinject ci
 
 all: build lint test
 
@@ -11,8 +11,8 @@ build:
 	$(GO) build ./...
 
 # lint runs the full static-analysis gate: the standard `go vet` passes
-# (delegated by mpgraph-vet) plus the five MPGraph analyzers — seededrand,
-# errdrop, floateq, panicpolicy, addrhelpers. See DESIGN.md §7.
+# (delegated by mpgraph-vet) plus the six MPGraph analyzers — seededrand,
+# errdrop, floateq, panicpolicy, addrhelpers, goroutineguard. See DESIGN.md §7.
 lint:
 	$(GO) run ./cmd/mpgraph-vet ./...
 
@@ -40,5 +40,16 @@ bench:
 		> bench.out
 	$(GO) run ./cmd/mpgraph-bench -in bench.out -o BENCH_small.json
 	rm -f bench.out
+
+# faultinject is the robustness gate (DESIGN.md §9): the resilience package
+# suite plus the fault-armed pipeline tests — cell retry after injected
+# failures, crash-resume byte-identity, checkpoint corruption handling, and
+# guarded-prefetcher degradation. The guarded-sweep test exports its
+# degradation event log to degrade-events.log (CI uploads it as an artifact).
+faultinject:
+	$(GO) test -count=1 ./internal/resilience/
+	MPGRAPH_DEGRADE_LOG=$(CURDIR)/degrade-events.log $(GO) test -count=1 \
+		./internal/prefetch/ ./internal/experiments/ \
+		-run 'TestGuarded|TestCellRetry|TestCrashResume|TestForEachIndexRecovers|TestCheckpoint'
 
 ci: build lint test race

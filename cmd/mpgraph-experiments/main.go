@@ -18,6 +18,7 @@ import (
 
 	"mpgraph/internal/experiments"
 	"mpgraph/internal/frameworks"
+	"mpgraph/internal/resilience"
 )
 
 type runner struct {
@@ -60,6 +61,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		slowInfer  = flag.Bool("disable-fast-path", false, "use the legacy allocating inference path (serial; perf baseline)")
 		out        = flag.String("out", "", "output file (default stdout)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for atomic checksummed trace/model checkpoints (empty = disabled)")
+		resume     = flag.Bool("resume", false, "load matching checkpoints from -checkpoint-dir before recomputing")
+		inject     = flag.String("inject", "", "fault-injection spec, e.g. 'sweep-worker:panic@2,checkpoint-io:corrupt@1' (see resilience.ParseInjector)")
+		degradeLog = flag.String("degrade-log", "", "write the degradation-event log to this file (written even when a run fails)")
 	)
 	flag.Parse()
 
@@ -82,6 +87,13 @@ func main() {
 	opt.Seed = *seed
 	opt.Workers = *workers
 	opt.DisableFastPath = *slowInfer
+	opt.CheckpointDir = *ckptDir
+	opt.Resume = *resume
+	inj, err := resilience.ParseInjector(*inject, *seed)
+	if err != nil {
+		fatalf("-inject: %v", err)
+	}
+	opt.Injector = inj
 	if *graphScale > 0 {
 		opt.GraphScale = *graphScale
 	}
@@ -117,15 +129,41 @@ func main() {
 	}
 
 	r := experiments.NewRunner(opt)
+	var runErr error
 	for _, reg := range registry {
 		if *run != "all" && !wanted[reg.id] {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "[mpgraph-experiments] running %s (%s)...\n", reg.id, reg.desc)
 		if err := reg.fn(w, r); err != nil {
-			fatalf("%s: %v", reg.id, err)
+			runErr = fmt.Errorf("%s: %w", reg.id, err)
+			break
 		}
 	}
+	// The degradation log is most valuable exactly when a run failed, so it
+	// is written before the error decides the exit code.
+	if *degradeLog != "" {
+		if err := writeDegradeLog(*degradeLog, r); err != nil {
+			fatalf("-degrade-log: %v", err)
+		}
+	}
+	if runErr != nil {
+		fatalf("%v", runErr)
+	}
+}
+
+// writeDegradeLog dumps the runner's degradation events (recovered panics,
+// quarantined prefetchers, corrupt checkpoints, injected faults) to path.
+func writeDegradeLog(path string, r *experiments.Runner) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := r.Events.WriteTo(f); err != nil {
+		f.Close() //mpgraph:allow errdrop -- the write error already reports the failure
+		return err
+	}
+	return f.Close()
 }
 
 func known(id string) bool {

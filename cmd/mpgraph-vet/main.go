@@ -1,6 +1,7 @@
 // Command mpgraph-vet is the project's static-analysis gate: it chains the
-// standard `go vet` passes with the five MPGraph-specific analyzers
-// (seededrand, errdrop, floateq, panicpolicy, addrhelpers) and exits
+// standard `go vet` passes with the six MPGraph-specific analyzers
+// (seededrand, errdrop, floateq, panicpolicy, addrhelpers, goroutineguard)
+// and exits
 // non-zero on any finding. It is part of tier-1: CI runs it on every push
 // (.github/workflows/ci.yml), and `make lint` runs it locally.
 //
@@ -29,6 +30,7 @@ import (
 	"mpgraph/internal/analysis/passes/addrhelpers"
 	"mpgraph/internal/analysis/passes/errdrop"
 	"mpgraph/internal/analysis/passes/floateq"
+	"mpgraph/internal/analysis/passes/goroutineguard"
 	"mpgraph/internal/analysis/passes/panicpolicy"
 	"mpgraph/internal/analysis/passes/seededrand"
 )
@@ -37,6 +39,7 @@ var suite = []*analysis.Analyzer{
 	addrhelpers.Analyzer,
 	errdrop.Analyzer,
 	floateq.Analyzer,
+	goroutineguard.Analyzer,
 	panicpolicy.Analyzer,
 	seededrand.Analyzer,
 }

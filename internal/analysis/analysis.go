@@ -2,7 +2,7 @@
 // golang.org/x/tools/go/analysis that mpgraph-vet needs, built on the
 // standard library only (go/ast, go/types, go/importer). The repository is
 // dependency-free by policy, so rather than vendoring x/tools the suite
-// mirrors its Analyzer/Pass/Diagnostic API closely enough that the five
+// mirrors its Analyzer/Pass/Diagnostic API closely enough that the six
 // MPGraph analyzers could be ported to the real framework by changing
 // imports.
 //

@@ -1,0 +1,211 @@
+// Package goroutineguard requires goroutines in the concurrency-bearing
+// pipeline packages (internal/experiments, internal/prefetch) to route panics
+// through a resilience boundary. A panic on a bare goroutine kills the whole
+// process — no sweep report, no degradation event, no checkpoint flush — so
+// every `go` statement there must reach a recovery point: a call into
+// mpgraph/internal/resilience (Guard / GuardVal), or a call to a function
+// whose doc comment carries the marker line
+//
+//	mpgraph:recovers
+//
+// either as the spawned function itself or somewhere in the spawned body
+// (including through a locally-defined closure, the scheduler's shape). A
+// deliberate bare goroutine needs a
+// //mpgraph:allow goroutineguard -- <reason> directive.
+package goroutineguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mpgraph/internal/analysis"
+)
+
+// Analyzer is the goroutineguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineguard",
+	Doc:  "require goroutines in experiments/prefetch to route panics through a resilience boundary",
+	Match: func(path string) bool {
+		for _, p := range []string{"mpgraph/internal/experiments", "mpgraph/internal/prefetch"} {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+// marker designates a function as a panic-recovery boundary when present in
+// its doc comment.
+const marker = "mpgraph:recovers"
+
+// resiliencePath is the package whose call sites count as boundaries without
+// needing a marker.
+const resiliencePath = "mpgraph/internal/resilience"
+
+func run(pass *analysis.Pass) error {
+	marked := markedDecls(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			closures := closureBindings(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				c := &checker{pass: pass, marked: marked, closures: closures, visited: map[*ast.FuncLit]bool{}}
+				if !c.guardedSpawn(gs.Call) {
+					pass.Reportf(gs.Pos(), "goroutine without a resilience boundary: route panics through resilience.Guard/GuardVal or an mpgraph:recovers helper")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// markedDecls indexes this package's mpgraph:recovers-marked functions by
+// their type-checker object.
+func markedDecls(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || !strings.Contains(fd.Doc.Text(), marker) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// closureBindings maps local variables to the function literals assigned to
+// them (run := func(i int) error { ... }), so a goroutine body calling such a
+// closure can be followed into it.
+func closureBindings(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checker walks one spawned call graph looking for a boundary.
+type checker struct {
+	pass     *analysis.Pass
+	marked   map[types.Object]bool
+	closures map[types.Object]*ast.FuncLit
+	visited  map[*ast.FuncLit]bool
+}
+
+// guardedSpawn reports whether the `go` statement's call reaches a boundary:
+// the callee itself is one, or (for literals and local closures) its body
+// contains one.
+func (c *checker) guardedSpawn(call *ast.CallExpr) bool {
+	if c.boundaryCallee(call.Fun) {
+		return true
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return c.guardedBody(lit)
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if lit := c.closureFor(id); lit != nil {
+			return c.guardedBody(lit)
+		}
+	}
+	return false
+}
+
+// guardedBody reports whether the literal's body calls a boundary, following
+// local closures at most once each.
+func (c *checker) guardedBody(lit *ast.FuncLit) bool {
+	if c.visited[lit] {
+		return false
+	}
+	c.visited[lit] = true
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.boundaryCallee(call.Fun) {
+			found = true
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if inner := c.closureFor(id); inner != nil && c.guardedBody(inner) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closureFor resolves an identifier to a locally-bound function literal.
+func (c *checker) closureFor(id *ast.Ident) *ast.FuncLit {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	return c.closures[obj]
+}
+
+// boundaryCallee reports whether the call target is a recovery boundary: a
+// function from mpgraph/internal/resilience, or one of this package's
+// mpgraph:recovers-marked functions.
+func (c *checker) boundaryCallee(fun ast.Expr) bool {
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[e.Sel]
+	case *ast.IndexExpr: // generic instantiation: resilience.GuardVal[T](...)
+		return c.boundaryCallee(e.X)
+	default:
+		return false
+	}
+	if obj == nil {
+		return false
+	}
+	if c.marked[obj] {
+		return true
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == resiliencePath
+}

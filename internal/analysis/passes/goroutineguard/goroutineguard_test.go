@@ -1,0 +1,12 @@
+package goroutineguard_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/goroutineguard"
+)
+
+func TestGoroutineGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutineguard.Analyzer, "a", "b")
+}

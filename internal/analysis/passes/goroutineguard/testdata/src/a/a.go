@@ -1,0 +1,40 @@
+// Package a is the positive fixture for goroutineguard: bare goroutines
+// whose panics would kill the process.
+package a
+
+import "sync"
+
+func work(int) {}
+
+func barePool(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `goroutine without a resilience boundary`
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func bareNamed() {
+	go work(1) // want `goroutine without a resilience boundary`
+}
+
+// localRecover recovers, but carries no marker — ad-hoc recovery is
+// invisible to callers and reviewers, so it does not count as a boundary.
+func localRecover() {
+	defer func() { _ = recover() }()
+	work(2)
+}
+
+func bareAdHoc() {
+	go localRecover() // want `goroutine without a resilience boundary`
+}
+
+func justified(done chan struct{}) {
+	go func() { //mpgraph:allow goroutineguard -- fixture: closes a channel, cannot panic
+		close(done)
+	}()
+}

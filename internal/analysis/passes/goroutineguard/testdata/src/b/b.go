@@ -1,0 +1,62 @@
+// Package b is the negative fixture for goroutineguard: every goroutine
+// reaches a marked recovery boundary, directly or through a local closure.
+package b
+
+import "sync"
+
+// guard runs fn and converts a panic into an error.
+//
+// mpgraph:recovers
+func guard(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicErr{v}
+		}
+	}()
+	return fn()
+}
+
+type panicErr struct{ value any }
+
+func (e *panicErr) Error() string { return "recovered panic" }
+
+func work(int) error { return nil }
+
+// directBody: the spawned literal calls the boundary itself.
+func directBody(n int) {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = guard(func() error { return work(i) })
+		}(i)
+	}
+	wg.Wait()
+}
+
+// throughClosure mirrors the scheduler: the boundary is wrapped in a local
+// closure that the worker goroutines call.
+func throughClosure(n, workers int) {
+	run := func(i int) error {
+		return guard(func() error { return work(i) })
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				errs[i] = run(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// spawnBoundary spawns the marked helper directly.
+func spawnBoundary() {
+	go guard(func() error { return work(0) }) //mpgraph:allow errdrop -- fixture: error handling is not under test
+}

@@ -88,6 +88,9 @@ type MPGraph struct {
 	// Stats for introspection.
 	Transitions int
 	Switches    int
+
+	// health holds the first model defect detected by score screening.
+	health error
 }
 
 // New builds an MPGraph prefetcher from per-phase trained predictors and a
@@ -132,6 +135,16 @@ func (m *MPGraph) InferenceLatencyCycles() uint64 { return m.opt.LatencyCycles }
 
 // Phase exposes the currently selected phase (tests, case studies).
 func (m *MPGraph) Phase() int { return m.phase }
+
+// Health implements sim.HealthReporter: nil until score screening detects a
+// non-finite model output, then the first such defect.
+func (m *MPGraph) Health() error { return m.health }
+
+func (m *MPGraph) recordHealth(err error) {
+	if m.health == nil {
+		m.health = err
+	}
+}
 
 // Operate implements sim.Prefetcher: the CSTP strategy of Fig. 8.
 func (m *MPGraph) Operate(acc sim.LLCAccess) []uint64 {
@@ -194,7 +207,11 @@ func (m *MPGraph) cstp(block uint64) []uint64 {
 	page := m.pages[m.phase%len(m.pages)]
 
 	// Step 0: spatial deltas at the current block.
-	m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	var err error
+	m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	if err != nil {
+		m.recordHealth(err)
+	}
 	for _, b := range m.deltaBuf {
 		out = addUnique(out, b, maxDegree)
 	}
@@ -220,7 +237,10 @@ func (m *MPGraph) cstp(block uint64) []uint64 {
 		} else {
 			cur = m.hist.SampleWithTailInto(&m.tailScratch, m.phase, base, entry.PC)
 		}
-		m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		if err != nil {
+			m.recordHealth(err)
+		}
 		for _, b := range m.deltaBuf {
 			if len(out) >= maxDegree {
 				break
@@ -278,7 +298,11 @@ func (m *MPGraph) feedProbe() {
 		} else {
 			s = m.hist.SampleInto(&m.sampScratch, p)
 		}
-		m.deltaBuf = topDeltaBlocksAppend(m.ctx, dm, s, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		var err error
+		m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, dm, s, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		if err != nil {
+			m.recordHealth(err)
+		}
 		for _, b := range m.deltaBuf {
 			m.probeSets[p][b] = true
 		}

@@ -42,6 +42,9 @@ type PerCoreMPGraph struct {
 
 	// Transitions counts detector firings summed over cores.
 	Transitions int
+
+	// health holds the first model defect detected by score screening.
+	health error
 }
 
 // NewPerCore builds the per-core variant. makeDetector is called once per
@@ -91,6 +94,16 @@ func (m *PerCoreMPGraph) InferenceLatencyCycles() uint64 { return m.opt.LatencyC
 // CorePhase exposes core c's current phase (tests).
 func (m *PerCoreMPGraph) CorePhase(c int) int { return m.phases[c%len(m.phases)] }
 
+// Health implements sim.HealthReporter: nil until score screening detects a
+// non-finite model output, then the first such defect.
+func (m *PerCoreMPGraph) Health() error { return m.health }
+
+func (m *PerCoreMPGraph) recordHealth(err error) {
+	if m.health == nil {
+		m.health = err
+	}
+}
+
 // Operate implements sim.Prefetcher: per-core phase tracking with the same
 // CSTP strategy per core stream.
 func (m *PerCoreMPGraph) Operate(acc sim.LLCAccess) []uint64 {
@@ -129,7 +142,11 @@ func (m *PerCoreMPGraph) cstp(c int, block uint64) []uint64 {
 		defer m.ctx.Reset()
 		sample = hist.SampleInto(&m.sampScratch, phase)
 	}
-	m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	var err error
+	m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	if err != nil {
+		m.recordHealth(err)
+	}
 	for _, b := range m.deltaBuf {
 		out = addUnique(out, b, maxDegree)
 	}
@@ -150,7 +167,10 @@ func (m *PerCoreMPGraph) cstp(c int, block uint64) []uint64 {
 		} else {
 			cur = hist.SampleWithTailInto(&m.tailScratch, phase, base, entry.PC)
 		}
-		m.deltaBuf = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		if err != nil {
+			m.recordHealth(err)
+		}
 		for _, b := range m.deltaBuf {
 			if len(out) >= maxDegree {
 				break
@@ -169,9 +189,15 @@ func (m *PerCoreMPGraph) cstp(c int, block uint64) []uint64 {
 
 // topDeltaBlocksAppend is the shared top-k delta decode (also used by
 // MPGraph): it appends the decoded block targets to dst, drawing every
-// intermediate from the ctx arena when one is supplied.
-func topDeltaBlocksAppend(c *tensor.Ctx, model models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) []uint64 {
+// intermediate from the ctx arena when one is supplied. Scores are screened
+// for non-finite values first; on a screening failure dst is returned
+// unmodified alongside the error so callers can record the health defect
+// instead of issuing prefetches ranked by NaN.
+func topDeltaBlocksAppend(c *tensor.Ctx, model models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) ([]uint64, error) {
 	scores := models.DeltaScoresWith(c, model, s)
+	if err := models.ScreenScores(scores); err != nil {
+		return dst, err
+	}
 	rangeHalf := len(scores) / 2
 	for _, cls := range models.TopKClassesCtx(c, scores, k) {
 		var d int64
@@ -184,5 +210,5 @@ func topDeltaBlocksAppend(c *tensor.Ctx, model models.DeltaModel, s *models.Samp
 			dst = append(dst, uint64(t))
 		}
 	}
-	return dst
+	return dst, nil
 }

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mpgraph/internal/frameworks"
+	"mpgraph/internal/nn"
+	"mpgraph/internal/resilience"
+	"mpgraph/internal/trace"
+)
+
+// Store returns the runner's checkpoint store, creating it on first use
+// (nil when Options.CheckpointDir is empty — every save and load degrades to
+// a no-op / cache miss through the store's nil-safety).
+func (r *Runner) Store() (*resilience.Store, error) {
+	if r.Opt.CheckpointDir == "" {
+		return nil, nil
+	}
+	r.storeOnce.Do(func() {
+		r.store, r.storeErr = resilience.NewStore(r.Opt.CheckpointDir, r.Opt.Injector, r.Events)
+	})
+	return r.store, r.storeErr
+}
+
+// loadStore resolves the store for load paths: nil (always a miss) unless
+// resuming was requested.
+func (r *Runner) loadStore() (*resilience.Store, error) {
+	if !r.Opt.Resume {
+		return nil, nil
+	}
+	return r.Store()
+}
+
+// artifactFingerprint identifies every option that changes a workload trace.
+// A checkpoint whose fingerprint differs is stale and treated as a miss.
+func (o Options) artifactFingerprint() string {
+	return fmt.Sprintf("trace/v1 scale=%s graphScale=%d iters=%d seed=%d",
+		o.Scale, o.graphScale(), o.TraceIterations, o.Seed)
+}
+
+// suiteFingerprint additionally covers everything that changes training.
+func (o Options) suiteFingerprint() string {
+	return fmt.Sprintf("suite/v1 %s maxTest=%d trainSamples=%d epochs=%d cfg=%+v",
+		o.artifactFingerprint(), o.MaxTestAccesses, o.TrainSamples, o.Epochs, o.ModelConfig())
+}
+
+func traceKey(w Workload) string {
+	return fmt.Sprintf("trace-%s-%s-%s", w.Framework, w.App, w.Dataset)
+}
+
+func suiteKey(w Workload) string {
+	return fmt.Sprintf("suite-%s-%s-%s", w.Framework, w.App, w.Dataset)
+}
+
+// saveTraceCheckpoint persists w's generated trace and framework result.
+func (r *Runner) saveTraceCheckpoint(w Workload, tr *trace.Trace, res *frameworks.Result) error {
+	st, err := r.Store()
+	if err != nil {
+		return err
+	}
+	return st.Save(traceKey(w), r.Opt.artifactFingerprint(), func(wr io.Writer) error {
+		// The result first: it is decoded with exact-length reads, so the
+		// trace reader's internal buffering (last in the payload) cannot
+		// swallow its bytes.
+		if err := writeResult(wr, res); err != nil {
+			return err
+		}
+		return trace.Write(wr, tr)
+	})
+}
+
+// loadTraceCheckpoint restores w's trace and result; ok is false on any
+// miss (no store, no resume, stale fingerprint, corruption).
+func (r *Runner) loadTraceCheckpoint(w Workload) (tr *trace.Trace, res *frameworks.Result, ok bool, err error) {
+	st, err := r.loadStore()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	ok, err = st.Load(traceKey(w), r.Opt.artifactFingerprint(), func(rd io.Reader) error {
+		if res, err = readResult(rd); err != nil {
+			return err
+		}
+		tr, err = trace.Read(rd)
+		return err
+	})
+	return tr, res, ok, err
+}
+
+// saveSuiteCheckpoint persists the trained weights of all ten suite models.
+// Structure (datasets, vocab, model shapes) is NOT stored: the skeleton is
+// rebuilt deterministically and only parameters round-trip, bit-exactly.
+func (r *Runner) saveSuiteCheckpoint(w Workload, s *Suite) error {
+	st, err := r.Store()
+	if err != nil {
+		return err
+	}
+	return st.Save(suiteKey(w), r.Opt.suiteFingerprint(), func(wr io.Writer) error {
+		for _, m := range suiteModules(s) {
+			if err := writeModule(wr, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// loadSuiteCheckpoint restores trained weights into a freshly built
+// skeleton; ok is false on any miss.
+func (r *Runner) loadSuiteCheckpoint(w Workload, s *Suite) (bool, error) {
+	st, err := r.loadStore()
+	if err != nil {
+		return false, err
+	}
+	return st.Load(suiteKey(w), r.Opt.suiteFingerprint(), func(rd io.Reader) error {
+		for _, m := range suiteModules(s) {
+			if err := readModule(rd, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// suiteModules lists the suite's models in the fixed serialization order.
+func suiteModules(s *Suite) []nn.Module {
+	return []nn.Module{
+		s.LSTMDelta, s.AttnDelta, s.AMMADelta, s.PIDelta, s.PSDelta,
+		s.LSTMPage, s.AttnPage, s.AMMAPage, s.PIPage, s.PSPage,
+	}
+}
+
+const ckptMaxBlob = 1 << 30
+
+// writeModule length-prefixes one nn.Save blob so consecutive modules can be
+// decoded with exact reads (nn.Load buffers internally and would otherwise
+// consume the next module's bytes).
+func writeModule(w io.Writer, m nn.Module) error {
+	var buf bytes.Buffer
+	if err := nn.Save(&buf, m); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readModule(r io.Reader, m nn.Module) error {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n > ckptMaxBlob {
+		return fmt.Errorf("experiments: module blob of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return nn.Load(bytes.NewReader(buf), m)
+}
+
+func writeResult(w io.Writer, res *frameworks.Result) error {
+	for _, s := range []string{string(res.App), res.Framework} {
+		if err := writeString(w, s); err != nil {
+			return err
+		}
+	}
+	converged := uint64(0)
+	if res.Converged {
+		converged = 1
+	}
+	for _, v := range []uint64{uint64(res.Iterations), converged, uint64(len(res.Values))} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, res.Values)
+}
+
+func readResult(r io.Reader) (*frameworks.Result, error) {
+	res := &frameworks.Result{}
+	app, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	res.App = frameworks.App(app)
+	if res.Framework, err = readString(r); err != nil {
+		return nil, err
+	}
+	var hdr [3]uint64
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr[2] > ckptMaxBlob/8 {
+		return nil, fmt.Errorf("experiments: result of %d values exceeds limit", hdr[2])
+	}
+	res.Iterations = int(hdr[0])
+	res.Converged = hdr[1] == 1
+	res.Values = make([]float64, hdr[2])
+	if err := binary.Read(r, binary.LittleEndian, res.Values); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("experiments: string of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -12,6 +12,7 @@ import (
 
 	"mpgraph/internal/frameworks"
 	"mpgraph/internal/models"
+	"mpgraph/internal/resilience"
 	"mpgraph/internal/sim"
 )
 
@@ -49,6 +50,23 @@ type Options struct {
 	// the benchmarks compare against. The legacy path toggles the global
 	// grad flag, so it forces the sweep serial regardless of Workers.
 	DisableFastPath bool
+	// CheckpointDir, when non-empty, enables atomic checksummed on-disk
+	// checkpoints of workload traces and trained model suites (DESIGN.md
+	// §9). Saves always happen when the directory is set; loads additionally
+	// require Resume, so a fresh run never silently reuses stale artifacts.
+	CheckpointDir string
+	// Resume loads existing checkpoints from CheckpointDir before
+	// recomputing. A corrupt or stale checkpoint is treated as a cache miss
+	// (logged as a degradation event), never an error.
+	Resume bool
+	// Injector arms the named fault-injection points (artifact-build,
+	// train-epoch, sweep-worker, checkpoint-io). Nil disarms everything;
+	// see resilience.ParseInjector for the -inject CLI spec grammar.
+	Injector *resilience.Injector
+	// DisableGuard skips the degradation guard normally wrapped around the
+	// ML prefetchers in the comparison sweep (ablations and benchmarks that
+	// need the bare prefetcher).
+	DisableGuard bool
 }
 
 // DefaultOptions returns the small-scale configuration.

@@ -10,6 +10,7 @@ import (
 	"mpgraph/internal/models"
 	"mpgraph/internal/phasedet"
 	"mpgraph/internal/prefetch"
+	"mpgraph/internal/resilience"
 	"mpgraph/internal/sim"
 	"mpgraph/internal/trace"
 )
@@ -19,10 +20,19 @@ import (
 type Runner struct {
 	Opt Options
 
+	// Events collects degradation events (recovered panics, quarantined
+	// prefetchers, corrupt checkpoints) from every component the runner
+	// wires together. Never nil.
+	Events *resilience.Log
+
 	mu     sync.Mutex
 	graphs map[string]*graph.Graph
 	data   map[Workload]*cell[*WorkloadData]
 	suites map[Workload]*cell[*Suite]
+
+	storeOnce sync.Once
+	store     *resilience.Store
+	storeErr  error
 
 	sweepRows  map[string][]prefetchRow
 	sweepOrder []string
@@ -32,6 +42,7 @@ type Runner struct {
 func NewRunner(opt Options) *Runner {
 	return &Runner{
 		Opt:    opt,
+		Events: &resilience.Log{},
 		graphs: map[string]*graph.Graph{},
 		data:   map[Workload]*cell[*WorkloadData]{},
 		suites: map[Workload]*cell[*Suite]{},
@@ -39,15 +50,41 @@ func NewRunner(opt Options) *Runner {
 }
 
 // cell coalesces concurrent computations of one cached artifact: the first
-// caller runs the compute function, every concurrent caller blocks on the
-// same sync.Once and shares the result. This keeps the expensive pipeline
-// stages (framework runs, model training) race-free AND single-flight —
-// without it, two goroutines asking for the same workload both paid the
-// full cost and the last store won.
+// caller runs the compute function under the cell's lock, every concurrent
+// caller blocks on the same lock and shares the result. This keeps the
+// expensive pipeline stages (framework runs, model training) race-free AND
+// single-flight — without it, two goroutines asking for the same workload
+// both paid the full cost and the last store won.
+//
+// Only success is cached. A failed compute leaves the cell empty, so a later
+// caller retries instead of inheriting a stale transient error forever (the
+// sync.Once design this replaced poisoned the cell on first failure: one
+// injected fault made the artifact permanently uncomputable for the process
+// lifetime).
 type cell[T any] struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	val  T
 	err  error
+}
+
+// get returns the cached value, computing it inside a resilience boundary
+// when absent: a panic anywhere in the compute function surfaces as a
+// *resilience.PanicError instead of killing the process.
+func (c *cell[T]) get(boundary string, compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return c.val, c.err
+	}
+	val, err := resilience.GuardVal(boundary, compute)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	c.val, c.err = val, nil
+	c.done = true
+	return c.val, nil
 }
 
 // getCell returns (creating if needed) the cell for key in m, under mu.
@@ -98,25 +135,38 @@ func (r *Runner) Graph(name string) (*graph.Graph, error) {
 }
 
 // Data returns (computing once, coalescing concurrent callers) the trace
-// pipeline outputs for w.
+// pipeline outputs for w. A failed compute is retryable; a panic during the
+// compute is recovered into an error.
 func (r *Runner) Data(w Workload) (*WorkloadData, error) {
 	c := getCell(&r.mu, r.data, w)
-	c.once.Do(func() { c.val, c.err = r.computeData(w) })
-	return c.val, c.err
+	return c.get("experiments.Data("+w.String()+")", func() (*WorkloadData, error) {
+		return r.computeData(w)
+	})
 }
 
 func (r *Runner) computeData(w Workload) (*WorkloadData, error) {
-	g, err := r.Graph(w.Dataset)
-	if err != nil {
+	if err := r.Opt.Injector.Fire(resilience.PointArtifactBuild); err != nil {
 		return nil, err
 	}
 	fw, err := frameworks.ByName(w.Framework)
 	if err != nil {
 		return nil, err
 	}
-	tr, res, err := fw.Run(g, w.App, r.Opt.frameworkOptions())
+	tr, res, ok, err := r.loadTraceCheckpoint(w)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		g, err := r.Graph(w.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		if tr, res, err = fw.Run(g, w.App, r.Opt.frameworkOptions()); err != nil {
+			return nil, err
+		}
+		if err := r.saveTraceCheckpoint(w, tr, res); err != nil {
+			return nil, err
+		}
 	}
 	if tr.NumIterations() < 2 {
 		return nil, fmt.Errorf("experiments: %s produced %d iterations, need >= 2", w, tr.NumIterations())
@@ -190,40 +240,39 @@ type Suite struct {
 }
 
 // Suite returns (training once, coalescing concurrent callers) the full
-// model suite for w.
+// model suite for w. A failed compute is retryable; a panic during the
+// compute is recovered into an error.
 func (r *Runner) Suite(w Workload) (*Suite, error) {
 	c := getCell(&r.mu, r.suites, w)
-	c.once.Do(func() { c.val, c.err = r.computeSuite(w) })
-	return c.val, c.err
+	return c.get("experiments.Suite("+w.String()+")", func() (*Suite, error) {
+		return r.computeSuite(w)
+	})
 }
 
 func (r *Runner) computeSuite(w Workload) (*Suite, error) {
-	d, err := r.Data(w)
+	// The skeleton — datasets extracted from the LLC streams and models
+	// constructed at their fixed seeds — is rebuilt deterministically on
+	// every path; a suite checkpoint only has to restore trained weights.
+	s, d, err := r.suiteSkeleton(w)
 	if err != nil {
 		return nil, err
 	}
-	cfg := r.Opt.ModelConfig()
-	s := &Suite{Cfg: cfg, NumPhases: d.NumPhases}
-	if s.Train, err = r.buildDataset(cfg, d.LLCTrain, nil); err != nil {
+	if ok, err := r.loadSuiteCheckpoint(w, s); err != nil {
 		return nil, err
-	}
-	if s.Test, err = r.buildDataset(cfg, d.LLCTest, s.Train); err != nil {
-		return nil, err
+	} else if ok {
+		return s, nil
 	}
 
-	seed := r.Opt.Seed
-	topt := models.TrainOptions{Epochs: r.Opt.Epochs, Seed: seed, MaxSamplesPerEpoch: r.Opt.TrainSamples}
+	topt := models.TrainOptions{
+		Epochs: r.Opt.Epochs, Seed: r.Opt.Seed,
+		MaxSamplesPerEpoch: r.Opt.TrainSamples, Hook: r.trainHook(),
+	}
 	// Phase-specific models see only their own phase's slice of each epoch;
 	// scaling the epoch count by the phase count gives every per-phase
 	// model the same number of gradient steps as the single-model rows.
 	toptPS := topt
 	toptPS.Epochs = topt.Epochs * d.NumPhases
 
-	s.LSTMDelta = models.NewLSTMDelta(cfg, seed+1)
-	s.AttnDelta = models.NewAttnDelta(cfg, seed+2)
-	s.AMMADelta = models.NewAMMADelta(cfg, s.Train.PCs, 0, seed+3)
-	s.PIDelta = models.NewAMMADelta(cfg, s.Train.PCs, d.NumPhases, seed+4)
-	s.PSDelta = models.NewPhaseSpecificDelta(cfg, s.Train.PCs, d.NumPhases, seed+5)
 	for _, m := range []models.DeltaModel{s.LSTMDelta, s.AttnDelta, s.AMMADelta, s.PIDelta} {
 		if err := models.TrainDelta(m, s.Train, topt); err != nil {
 			return nil, err
@@ -232,12 +281,6 @@ func (r *Runner) computeSuite(w Workload) (*Suite, error) {
 	if err := models.TrainDelta(s.PSDelta, s.Train, toptPS); err != nil {
 		return nil, err
 	}
-
-	s.LSTMPage = models.NewLSTMPage(cfg, s.Train.Pages, s.Train.PCs, seed+6)
-	s.AttnPage = models.NewAttnPage(cfg, s.Train.Pages, s.Train.PCs, seed+7)
-	s.AMMAPage = models.NewAMMAPage(cfg, s.Train.Pages, s.Train.PCs, 0, seed+8)
-	s.PIPage = models.NewAMMAPage(cfg, s.Train.Pages, s.Train.PCs, d.NumPhases, seed+9)
-	s.PSPage = models.NewPhaseSpecificPage(cfg, s.Train.Pages, s.Train.PCs, d.NumPhases, seed+10)
 	for _, m := range []models.PageModel{s.LSTMPage, s.AttnPage, s.AMMAPage, s.PIPage} {
 		if err := models.TrainPage(m, s.Train, topt); err != nil {
 			return nil, err
@@ -247,7 +290,50 @@ func (r *Runner) computeSuite(w Workload) (*Suite, error) {
 		return nil, err
 	}
 
+	if err := r.saveSuiteCheckpoint(w, s); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// suiteSkeleton builds the untrained suite for w: datasets from the cached
+// LLC streams plus every model at its constructor seed. The construction is
+// fully deterministic, which is what lets a checkpoint restore weights into
+// a structurally identical suite.
+func (r *Runner) suiteSkeleton(w Workload) (*Suite, *WorkloadData, error) {
+	d, err := r.Data(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := r.Opt.ModelConfig()
+	s := &Suite{Cfg: cfg, NumPhases: d.NumPhases}
+	if s.Train, err = r.buildDataset(cfg, d.LLCTrain, nil); err != nil {
+		return nil, nil, err
+	}
+	if s.Test, err = r.buildDataset(cfg, d.LLCTest, s.Train); err != nil {
+		return nil, nil, err
+	}
+	seed := r.Opt.Seed
+	s.LSTMDelta = models.NewLSTMDelta(cfg, seed+1)
+	s.AttnDelta = models.NewAttnDelta(cfg, seed+2)
+	s.AMMADelta = models.NewAMMADelta(cfg, s.Train.PCs, 0, seed+3)
+	s.PIDelta = models.NewAMMADelta(cfg, s.Train.PCs, d.NumPhases, seed+4)
+	s.PSDelta = models.NewPhaseSpecificDelta(cfg, s.Train.PCs, d.NumPhases, seed+5)
+	s.LSTMPage = models.NewLSTMPage(cfg, s.Train.Pages, s.Train.PCs, seed+6)
+	s.AttnPage = models.NewAttnPage(cfg, s.Train.Pages, s.Train.PCs, seed+7)
+	s.AMMAPage = models.NewAMMAPage(cfg, s.Train.Pages, s.Train.PCs, 0, seed+8)
+	s.PIPage = models.NewAMMAPage(cfg, s.Train.Pages, s.Train.PCs, d.NumPhases, seed+9)
+	s.PSPage = models.NewPhaseSpecificPage(cfg, s.Train.Pages, s.Train.PCs, d.NumPhases, seed+10)
+	return s, d, nil
+}
+
+// trainHook routes every training epoch through the train-epoch injection
+// point (nil when no injector is armed, keeping training allocation-free).
+func (r *Runner) trainHook() func(int) error {
+	if r.Opt.Injector == nil {
+		return nil
+	}
+	return func(int) error { return r.Opt.Injector.Fire(resilience.PointTrainEpoch) }
 }
 
 // buildDataset extracts a dataset, auto-tuning the stride so the sample
@@ -268,7 +354,11 @@ func (r *Runner) buildDataset(cfg models.Config, stream []trace.Access, share *m
 
 // Prefetchers builds the Section 5.4.1 comparison set for w: BO, ISB,
 // Delta-LSTM, Voyager, TransFetch, and MPGraph (AMMA-PS + Soft-KSWIN +
-// CSTP), all at total degree 6.
+// CSTP), all at total degree 6. Unless Options.DisableGuard is set, every
+// ML prefetcher is wrapped in a degradation guard that quarantines it and
+// falls back to a warm BO instance if its model misbehaves (recovered
+// panics, non-finite scores, out-of-range blocks); a healthy guard is
+// transparent, so guarded and unguarded sweeps print identical reports.
 func (r *Runner) Prefetchers(w Workload) ([]sim.Prefetcher, error) {
 	s, err := r.Suite(w)
 	if err != nil {
@@ -281,13 +371,20 @@ func (r *Runner) Prefetchers(w Workload) ([]sim.Prefetcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	guard := func(pf sim.Prefetcher) sim.Prefetcher {
+		if r.Opt.DisableGuard {
+			return pf
+		}
+		fallback := prefetch.NewBO(prefetch.DefaultBOConfig())
+		return prefetch.NewGuarded(pf, fallback, prefetch.GuardConfig{}, r.Events)
+	}
 	return []sim.Prefetcher{
 		prefetch.NewBO(prefetch.DefaultBOConfig()),
 		prefetch.NewISB(prefetch.DefaultISBConfig()),
-		prefetch.NewDeltaLSTM(s.LSTMDelta, T, mlOpt),
-		prefetch.NewVoyager(s.LSTMPage, s.LSTMDelta, T, mlOpt),
-		prefetch.NewTransFetch(s.AttnDelta, T, mlOpt),
-		mp,
+		guard(prefetch.NewDeltaLSTM(s.LSTMDelta, T, mlOpt)),
+		guard(prefetch.NewVoyager(s.LSTMPage, s.LSTMDelta, T, mlOpt)),
+		guard(prefetch.NewTransFetch(s.AttnDelta, T, mlOpt)),
+		guard(mp),
 	}, nil
 }
 

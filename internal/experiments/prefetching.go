@@ -8,6 +8,7 @@ import (
 	"mpgraph/internal/models"
 	"mpgraph/internal/phasedet"
 	"mpgraph/internal/prefetch"
+	"mpgraph/internal/resilience"
 	"mpgraph/internal/sim"
 )
 
@@ -83,6 +84,9 @@ func computePrefetchSweep(r *Runner) (map[string][]prefetchRow, []string, error)
 		}
 	}
 	err = forEachIndex(len(pairs), workers, func(i int) error {
+		if err := r.Opt.Injector.Fire(resilience.PointSweepWorker); err != nil {
+			return err
+		}
 		p := pairs[i]
 		m, base, err := r.Simulate(wls[p.wi], pfsByWl[p.wi][p.pi])
 		if err != nil {

@@ -4,12 +4,18 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mpgraph/internal/resilience"
 )
 
 // forEachIndex runs fn(i) for every i in [0, n) on a bounded pool of
 // workers. Indices are handed out through an atomic counter, so no worker
 // idles while work remains; with workers <= 1 (or n == 1) everything runs
 // inline on the caller's goroutine — the serial path spawns no goroutines.
+//
+// Every fn(i) call runs inside a resilience boundary: a panicking task is
+// recovered into that slot's error (carrying the captured stack) instead of
+// crashing the process, on the serial and parallel paths alike.
 //
 // Determinism contract: fn must write its result into a slot owned by its
 // index (results[i]) and must not depend on execution order. On failure the
@@ -21,6 +27,9 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	run := func(i int) error {
+		return resilience.Guard("experiments.forEachIndex", func() error { return fn(i) })
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -29,7 +38,7 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -47,7 +56,7 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = run(i)
 			}
 		}()
 	}

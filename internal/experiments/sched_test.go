@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"mpgraph/internal/resilience"
 )
 
 func TestForEachIndexVisitsAll(t *testing.T) {
@@ -44,6 +47,34 @@ func TestForEachIndexFirstErrorByIndex(t *testing.T) {
 		})
 		if err == nil || err.Error() != "fail at 3" {
 			t.Fatalf("workers=%d: err = %v, want lowest failing index (3)", workers, err)
+		}
+	}
+}
+
+// TestForEachIndexRecoversPanic: a task panicking at a middle index must not
+// crash the pool — it is recovered into that slot's error carrying the
+// captured stack, and lowest-index-wins still holds against a plain error at
+// a later index.
+func TestForEachIndexRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := forEachIndex(20, workers, func(i int) error {
+			switch i {
+			case 9:
+				panic(fmt.Sprintf("boom at %d", i))
+			case 15:
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want recovered panic from index 9", workers, err)
+		}
+		if pe.Value != "boom at 9" || pe.Boundary != "experiments.forEachIndex" {
+			t.Fatalf("workers=%d: recovered %q at boundary %q", workers, pe.Value, pe.Boundary)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic lost its stack", workers)
 		}
 	}
 }

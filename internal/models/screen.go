@@ -1,0 +1,20 @@
+package models
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScreenScores checks a model's raw score vector for non-finite values. A
+// NaN or Inf score means the model's parameters have been corrupted (bad
+// checkpoint, numeric blow-up, fault injection) and every ranking derived
+// from the vector is meaningless, so callers treat a non-nil result as a
+// health violation and degrade rather than issue garbage prefetches.
+func ScreenScores(scores []float64) error {
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("models: non-finite score %v at class %d of %d", s, i, len(scores))
+		}
+	}
+	return nil
+}

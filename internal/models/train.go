@@ -19,6 +19,10 @@ type TrainOptions struct {
 	Seed int64
 	// MaxSamplesPerEpoch caps each epoch (0 = all).
 	MaxSamplesPerEpoch int
+	// Hook, when set, runs at the start of every epoch and aborts training
+	// when it errors. The experiment pipeline uses it as the train-epoch
+	// fault-injection point.
+	Hook func(epoch int) error
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -55,6 +59,11 @@ func trainLoop(m nn.Module, ds *Dataset, opt TrainOptions, lossFn func(*Sample) 
 		order[i] = i
 	}
 	for ep := 0; ep < opt.Epochs; ep++ {
+		if opt.Hook != nil {
+			if err := opt.Hook(ep); err != nil {
+				return fmt.Errorf("models: epoch %d aborted: %w", ep, err)
+			}
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		n := len(order)
 		if opt.MaxSamplesPerEpoch > 0 && opt.MaxSamplesPerEpoch < n {

@@ -72,6 +72,7 @@ type DeltaLSTM struct {
 	ctx     *tensor.Ctx
 	scratch models.Sample
 	out     []uint64
+	health  error
 }
 
 // NewDeltaLSTM wraps a trained delta model (expected: models.LSTMDelta).
@@ -86,6 +87,9 @@ func (p *DeltaLSTM) Name() string { return "delta-lstm" }
 // InferenceLatencyCycles implements sim.InferenceLatency.
 func (p *DeltaLSTM) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
 
+// Health implements sim.HealthReporter.
+func (p *DeltaLSTM) Health() error { return p.health }
+
 // Operate implements sim.Prefetcher.
 func (p *DeltaLSTM) Operate(acc sim.LLCAccess) []uint64 {
 	if !p.gate.observe(acc.Block, acc.PC) {
@@ -94,11 +98,15 @@ func (p *DeltaLSTM) Operate(acc sim.LLCAccess) []uint64 {
 	if p.ctx == nil {
 		restore := tensor.SetGradEnabled(false)
 		defer tensor.SetGradEnabled(restore)
-		return deltaPrefetches(p.model, p.gate.hist.Sample(0), acc.Block, p.opt.Degree)
+		out, err := deltaPrefetches(p.model, p.gate.hist.Sample(0), acc.Block, p.opt.Degree)
+		p.health = keepFirst(p.health, err)
+		return out
 	}
 	defer p.ctx.Reset()
 	s := p.gate.hist.SampleInto(&p.scratch, 0)
-	p.out = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	var err error
+	p.out, err = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	p.health = keepFirst(p.health, err)
 	return p.out
 }
 
@@ -111,6 +119,7 @@ type TransFetch struct {
 	ctx     *tensor.Ctx
 	scratch models.Sample
 	out     []uint64
+	health  error
 }
 
 // NewTransFetch wraps a trained delta model (expected: models.AttnDelta).
@@ -125,6 +134,9 @@ func (p *TransFetch) Name() string { return "transfetch" }
 // InferenceLatencyCycles implements sim.InferenceLatency.
 func (p *TransFetch) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
 
+// Health implements sim.HealthReporter.
+func (p *TransFetch) Health() error { return p.health }
+
 // Operate implements sim.Prefetcher.
 func (p *TransFetch) Operate(acc sim.LLCAccess) []uint64 {
 	if !p.gate.observe(acc.Block, acc.PC) {
@@ -133,11 +145,15 @@ func (p *TransFetch) Operate(acc sim.LLCAccess) []uint64 {
 	if p.ctx == nil {
 		restore := tensor.SetGradEnabled(false)
 		defer tensor.SetGradEnabled(restore)
-		return deltaPrefetches(p.model, p.gate.hist.Sample(0), acc.Block, p.opt.Degree)
+		out, err := deltaPrefetches(p.model, p.gate.hist.Sample(0), acc.Block, p.opt.Degree)
+		p.health = keepFirst(p.health, err)
+		return out
 	}
 	defer p.ctx.Reset()
 	s := p.gate.hist.SampleInto(&p.scratch, 0)
-	p.out = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	var err error
+	p.out, err = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	p.health = keepFirst(p.health, err)
 	return p.out
 }
 
@@ -156,6 +172,7 @@ type Voyager struct {
 	pages      []uint64
 	lastOffset map[uint64]uint64
 	fifo       []uint64
+	health     error
 }
 
 // NewVoyager wraps trained page and delta models (expected: LSTM-based).
@@ -176,6 +193,9 @@ func (p *Voyager) Name() string { return "voyager" }
 
 // InferenceLatencyCycles implements sim.InferenceLatency.
 func (p *Voyager) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
+
+// Health implements sim.HealthReporter.
+func (p *Voyager) Health() error { return p.health }
 
 // Operate implements sim.Prefetcher.
 func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
@@ -204,10 +224,13 @@ func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
 
 // predict composes the page and delta model outputs into prefetch targets:
 // half the degree goes spatially at the current block, half at the
-// predicted page.
+// predicted page. Screening failures are recorded as the prefetcher's first
+// health defect.
 func (p *Voyager) predict(c *tensor.Ctx, s *models.Sample, block uint64, out []uint64) []uint64 {
 	half := p.opt.Degree / 2
-	out = deltaPrefetchesAppend(c, p.deltaModel, s, block, half, out)
+	var err error
+	out, err = deltaPrefetchesAppend(c, p.deltaModel, s, block, half, out)
+	p.health = keepFirst(p.health, err)
 	p.pages = models.TopPagesWith(c, p.pageModel, s, 1, p.pages[:0])
 	for _, pg := range p.pages {
 		off, ok := p.lastOffset[pg]
@@ -218,7 +241,8 @@ func (p *Voyager) predict(c *tensor.Ctx, s *models.Sample, block uint64, out []u
 		out = append(out, base)
 		rest := p.opt.Degree - len(out)
 		if rest > 0 {
-			out = deltaPrefetchesAppend(c, p.deltaModel, s, base, rest, out)
+			out, err = deltaPrefetchesAppend(c, p.deltaModel, s, base, rest, out)
+			p.health = keepFirst(p.health, err)
 		}
 	}
 	if len(out) > p.opt.Degree {
@@ -227,23 +251,38 @@ func (p *Voyager) predict(c *tensor.Ctx, s *models.Sample, block uint64, out []u
 	return out
 }
 
+// keepFirst retains the first non-nil error a prefetcher observes, so Health
+// reports the original defect rather than the most recent repetition.
+func keepFirst(health, err error) error {
+	if health != nil {
+		return health
+	}
+	return err
+}
+
 // deltaPrefetches converts a delta model's top-k classes into block
 // addresses relative to base (the allocating legacy entry point).
-func deltaPrefetches(m models.DeltaModel, s *models.Sample, base uint64, k int) []uint64 {
+func deltaPrefetches(m models.DeltaModel, s *models.Sample, base uint64, k int) ([]uint64, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	return deltaPrefetchesAppend(nil, m, s, base, k, make([]uint64, 0, k))
 }
 
 // deltaPrefetchesAppend appends up to k prefetch targets derived from the
 // delta model's top classes to dst. With a non-nil ctx the scores, ranking
-// scratch and result all reuse per-prefetcher buffers.
-func deltaPrefetchesAppend(c *tensor.Ctx, m models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) []uint64 {
+// scratch and result all reuse per-prefetcher buffers. Scores are screened
+// for non-finite values; on a screening failure dst is returned unmodified
+// alongside the error so callers record the health defect instead of issuing
+// prefetches ranked by NaN.
+func deltaPrefetchesAppend(c *tensor.Ctx, m models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) ([]uint64, error) {
 	if k <= 0 {
-		return dst
+		return dst, nil
 	}
 	scores := models.DeltaScoresWith(c, m, s)
+	if err := models.ScreenScores(scores); err != nil {
+		return dst, err
+	}
 	cfgRange := len(scores) / 2
 	for _, cls := range models.TopKClassesCtx(c, scores, k) {
 		var delta int64
@@ -257,5 +296,5 @@ func deltaPrefetchesAppend(c *tensor.Ctx, m models.DeltaModel, s *models.Sample,
 			dst = append(dst, uint64(target))
 		}
 	}
-	return dst
+	return dst, nil
 }

@@ -1,0 +1,94 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one degradation event: a recovered panic, a quarantined model, a
+// corrupt checkpoint treated as a cache miss, an engaged fallback. Events
+// deliberately carry a sequence number instead of a timestamp so a resumed
+// run's event log is comparable across machines and replays.
+type Event struct {
+	// Seq is the 1-based order the event was recorded in.
+	Seq int
+	// Component names the degraded subsystem (e.g. "prefetch/mpgraph",
+	// "checkpoint", "sweep-worker").
+	Component string
+	// Action classifies the event ("violation", "quarantine", "fallback",
+	// "corrupt-checkpoint", "panic-recovered", ...).
+	Action string
+	// Detail is the human-readable cause.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%04d] %-24s %-20s %s", e.Seq, e.Component, e.Action, e.Detail)
+}
+
+// Log is a thread-safe, append-only degradation event log. A nil *Log is
+// valid and drops events, so instrumented components need no conditionals.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event and returns its sequence number (0 on a nil log).
+func (l *Log) Add(component, action, detail string) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Event{Seq: len(l.events) + 1, Component: component, Action: action, Detail: detail}
+	l.events = append(l.events, e)
+	return e.Seq
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a snapshot copy of the log.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count returns how many events match the component and action filters
+// (empty string matches anything).
+func (l *Log) Count(component, action string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if (component == "" || e.Component == component) && (action == "" || e.Action == action) {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTo renders the log as text lines, implementing io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range l.Events() {
+		n, err := fmt.Fprintln(w, e.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

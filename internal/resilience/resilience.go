@@ -1,0 +1,65 @@
+// Package resilience is the fault-tolerance layer for the long-running
+// pipeline (DESIGN.md §9): a deterministic, seeded fault-injection harness
+// with named injection points, panic-recovery boundaries that convert
+// worker panics into errors with captured stacks, a degradation event log,
+// and an atomic, checksummed on-disk checkpoint store.
+//
+// The paper's practicality story assumes the ML prefetcher is always
+// healthy; a production pipeline must instead survive crashes mid-run,
+// poisoned model state, and slow inference. Everything here is built so
+// the *success* path stays byte-deterministic: the injector counts hits
+// with its own state (no wall clock), events carry sequence numbers
+// instead of timestamps, and checkpoints round-trip float64 parameters
+// bit-exactly.
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic, carrying the boundary name, the panic
+// value, and the stack captured at recovery time.
+type PanicError struct {
+	// Boundary names the recovery point (e.g. "experiments.forEachIndex").
+	Boundary string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured inside the deferred recover.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilience: panic recovered at %s: %v", e.Boundary, e.Value)
+}
+
+// Guard runs fn and converts a panic into a *PanicError instead of letting
+// it unwind past the boundary. It is the designated panic boundary the
+// goroutineguard analyzer looks for: goroutine bodies in the long-running
+// packages must route their work through Guard (or a function documented
+// with the mpgraph:recovers marker) so one poisoned worker cannot kill a
+// whole sweep.
+//
+// mpgraph:recovers
+func Guard(boundary string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Boundary: boundary, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// GuardVal is Guard for compute functions returning a value. On panic the
+// zero value is returned alongside the *PanicError.
+//
+// mpgraph:recovers
+func GuardVal[T any](boundary string, fn func() (T, error)) (val T, err error) {
+	err = Guard(boundary, func() error {
+		var inner error
+		val, inner = fn()
+		return inner
+	})
+	return val, err
+}

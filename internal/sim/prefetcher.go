@@ -35,6 +35,14 @@ type Prefetcher interface {
 	Operate(acc LLCAccess) []uint64
 }
 
+// HealthReporter is implemented by prefetchers that self-screen their model
+// outputs (e.g. for non-finite scores). Health returns nil while the model is
+// sound and the first detected defect afterwards; a degradation wrapper polls
+// it after every Operate call and falls back once it goes non-nil.
+type HealthReporter interface {
+	Health() error
+}
+
 // InferenceLatency is implemented by prefetchers whose predictions come from
 // a model with a non-zero inference delay; the simulator adds the reported
 // cycles before a prefetch may issue (Section 6.2 of the paper).
