@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench faultinject ci
+.PHONY: all build vet lint vet-fix-check test race bench faultinject ci
 
 all: build lint test
 
@@ -11,14 +11,28 @@ build:
 	$(GO) build ./...
 
 # lint runs the full static-analysis gate: the standard `go vet` passes
-# (delegated by mpgraph-vet) plus the six MPGraph analyzers — seededrand,
-# errdrop, floateq, panicpolicy, addrhelpers, goroutineguard. See DESIGN.md §7.
+# (delegated by mpgraph-vet) plus the nine MPGraph analyzers — seededrand,
+# errdrop, floateq, panicpolicy, addrhelpers, goroutineguard, maporder,
+# walltime, noalloc. See DESIGN.md §7.
 lint:
 	$(GO) run ./cmd/mpgraph-vet ./...
 
 # vet runs only the standard passes (lint is a superset).
 vet:
 	$(GO) vet ./...
+
+# vet-fix-check proves the tree is autofix-clean: run `mpgraph-vet -fix` on
+# a scratch copy and fail if any file changes. A diff here means a finding
+# with a suggested rewrite was committed unfixed — run the -fix mode locally
+# and commit the result.
+FIXCHECK_DIR ?= /tmp/mpgraph-vet-fixcheck
+vet-fix-check:
+	rm -rf $(FIXCHECK_DIR)
+	mkdir -p $(FIXCHECK_DIR)
+	tar --exclude=.git -cf - . | (cd $(FIXCHECK_DIR) && tar -xf -)
+	cd $(FIXCHECK_DIR) && $(GO) run ./cmd/mpgraph-vet -novet -fix ./...
+	diff -r -x .git . $(FIXCHECK_DIR)
+	rm -rf $(FIXCHECK_DIR)
 
 test:
 	$(GO) test ./...
@@ -52,4 +66,4 @@ faultinject:
 		./internal/prefetch/ ./internal/experiments/ \
 		-run 'TestGuarded|TestCellRetry|TestCrashResume|TestForEachIndexRecovers|TestCheckpoint'
 
-ci: build lint test race
+ci: build lint vet-fix-check test race

@@ -1,17 +1,28 @@
 // Command mpgraph-vet is the project's static-analysis gate: it chains the
-// standard `go vet` passes with the six MPGraph-specific analyzers
-// (seededrand, errdrop, floateq, panicpolicy, addrhelpers, goroutineguard)
-// and exits
-// non-zero on any finding. It is part of tier-1: CI runs it on every push
-// (.github/workflows/ci.yml), and `make lint` runs it locally.
+// standard `go vet` passes with the nine MPGraph-specific analyzers
+// (seededrand, errdrop, floateq, panicpolicy, addrhelpers, goroutineguard,
+// maporder, walltime, noalloc) and exits non-zero on any finding. It is part
+// of tier-1: CI runs it on every push (.github/workflows/ci.yml), and
+// `make lint` runs it locally.
 //
 // Usage:
 //
-//	go run ./cmd/mpgraph-vet [-novet] [-list] [patterns...]
+//	go run ./cmd/mpgraph-vet [-novet] [-list] [-fix] [-out file] [patterns...]
 //
 // Patterns default to ./... and accept the usual ./dir/... forms relative
 // to the module root. -novet skips the delegated `go vet` run (useful when
 // iterating on one analyzer); -list prints the analyzer roster and exits.
+//
+// -fix applies each finding's suggested rewrite (maporder's sorted-keys
+// loop, walltime's allow directive) in place, skipping fixes whose edits
+// would overlap, and prints what it changed; findings without a fix are
+// printed and still fail the run. One -fix pass converges: applying the
+// fixes a second time changes nothing (`make vet-fix-check` enforces this
+// on a copy of the tree).
+//
+// -out additionally writes the findings to a file — CI uploads it as the
+// mpgraph-vet diagnostics artifact so findings are inspectable without
+// re-running the job.
 //
 // Findings are suppressed per line by a trailing
 // "//mpgraph:allow name[,name] -- reason" directive; the reason is
@@ -22,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -31,8 +43,11 @@ import (
 	"mpgraph/internal/analysis/passes/errdrop"
 	"mpgraph/internal/analysis/passes/floateq"
 	"mpgraph/internal/analysis/passes/goroutineguard"
+	"mpgraph/internal/analysis/passes/maporder"
+	"mpgraph/internal/analysis/passes/noalloc"
 	"mpgraph/internal/analysis/passes/panicpolicy"
 	"mpgraph/internal/analysis/passes/seededrand"
+	"mpgraph/internal/analysis/passes/walltime"
 )
 
 var suite = []*analysis.Analyzer{
@@ -40,18 +55,23 @@ var suite = []*analysis.Analyzer{
 	errdrop.Analyzer,
 	floateq.Analyzer,
 	goroutineguard.Analyzer,
+	maporder.Analyzer,
+	noalloc.Analyzer,
 	panicpolicy.Analyzer,
 	seededrand.Analyzer,
+	walltime.Analyzer,
 }
 
 func main() {
 	novet := flag.Bool("novet", false, "skip the delegated `go vet` run")
 	list := flag.Bool("list", false, "print the analyzer roster and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	out := flag.String("out", "", "also write findings to this file (CI artifact)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -63,8 +83,7 @@ func main() {
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	failed := false
@@ -81,22 +100,73 @@ func main() {
 
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	pkgs, err := loader.Load(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	n, err := analysis.RunAnalyzers(pkgs, suite, os.Stdout)
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *fix {
+		if applyFixes(loader, pkgs, sink) || failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	n, err := analysis.RunAnalyzers(pkgs, suite, sink)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	if n > 0 || failed {
 		os.Exit(1)
 	}
+}
+
+// applyFixes runs the suite, writes every suggested rewrite back to disk,
+// and prints the findings that had no fix. Returns true when unresolved
+// findings remain.
+func applyFixes(loader *analysis.Loader, pkgs []*analysis.Package, sink io.Writer) bool {
+	diags, err := analysis.Analyze(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.ApplyFixes(loader.Fset, diags, nil)
+	if err != nil {
+		fatal(err)
+	}
+	for file, src := range res.Files {
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mpgraph-vet -fix: %d fix(es) applied across %d file(s), %d skipped for overlap\n",
+		res.Applied, len(res.Files), res.Skipped)
+
+	unresolved := 0
+	for _, d := range diags {
+		if len(d.SuggestedFixes) > 0 {
+			continue
+		}
+		unresolved++
+		fmt.Fprintf(sink, "%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return unresolved > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpgraph-vet:", err)
+	os.Exit(2)
 }
 
 // moduleRoot walks upward from the working directory to the nearest go.mod.

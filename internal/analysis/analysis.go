@@ -26,7 +26,14 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"mpgraph/internal/analysis/dataflow"
 )
+
+// NeedDataflow in Analyzer.Requires asks the driver to populate
+// Pass.Dataflow with the package's dataflow summary (reaching definitions +
+// call graph; see internal/analysis/dataflow) before Run is called.
+const NeedDataflow = "dataflow"
 
 // Analyzer describes one static check.
 type Analyzer struct {
@@ -35,12 +42,27 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by mpgraph-vet -help.
 	Doc string
+	// Requires lists the shared facts this analyzer needs the driver to
+	// compute (currently only NeedDataflow). Facts are built once per
+	// package and shared across the analyzers that ask for them.
+	Requires []string
 	// Match optionally restricts which package paths the driver runs this
 	// analyzer on. nil means every package. analysistest ignores Match so
 	// fixtures can live in packages named "a" and "b".
 	Match func(pkgPath string) bool
 	// Run performs the check, reporting findings through pass.Report.
 	Run func(pass *Pass) error
+}
+
+// NeedsDataflow reports whether the analyzer listed NeedDataflow in its
+// requirements.
+func (a *Analyzer) NeedsDataflow() bool {
+	for _, r := range a.Requires {
+		if r == NeedDataflow {
+			return true
+		}
+	}
+	return false
 }
 
 // Pass carries one package's parsed and type-checked representation to an
@@ -51,8 +73,29 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dataflow is the package's dataflow summary, populated only for
+	// analyzers that list NeedDataflow in Requires (nil otherwise).
+	Dataflow *dataflow.Info
 
 	report func(Diagnostic)
+}
+
+// TextEdit is one contiguous source replacement: the bytes in [Pos, End)
+// are replaced by NewText. A pure insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is a set of edits that together resolve one diagnostic. The
+// driver's -fix mode applies fixes whose edits do not overlap earlier ones;
+// fixture goldens pin the exact rewrite per analyzer (analysistest.RunFix).
+type SuggestedFix struct {
+	// Message describes the rewrite ("iterate over sorted keys").
+	Message string
+	// TextEdits are the replacements, all within one file.
+	TextEdits []TextEdit
 }
 
 // Diagnostic is one finding.
@@ -60,6 +103,9 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// SuggestedFixes optionally carries mechanical rewrites that resolve
+	// the finding; the first fix is the preferred one.
+	SuggestedFixes []SuggestedFix
 }
 
 // Report records a finding.
@@ -125,7 +171,12 @@ func (s Suppressions) Allowed(fset *token.FileSet, pos token.Pos, name string) b
 	return s[key][name]
 }
 
-// Filter drops suppressed diagnostics and sorts the rest by file position.
+// Filter drops suppressed diagnostics, sorts the rest by file position
+// (column included, so output order is byte-deterministic), and collapses
+// repeats: when several analyzers — or one analyzer run twice over shared
+// syntax — report the same message at the same position, only the
+// lexically-first analyzer's diagnostic survives. The multichecker's output
+// is therefore itself reproducible, the property it exists to enforce.
 func Filter(fset *token.FileSet, diags []Diagnostic, sup Suppressions) []Diagnostic {
 	kept := diags[:0]
 	for _, d := range diags {
@@ -141,7 +192,20 @@ func Filter(fset *token.FileSet, diags []Diagnostic, sup Suppressions) []Diagnos
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if kept[i].Message != kept[j].Message {
+			return kept[i].Message < kept[j].Message
+		}
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
-	return kept
+	deduped := kept[:0]
+	for _, d := range kept {
+		if n := len(deduped); n > 0 && deduped[n-1].Pos == d.Pos && deduped[n-1].Message == d.Message {
+			continue
+		}
+		deduped = append(deduped, d)
+	}
+	return deduped
 }

@@ -10,16 +10,27 @@
 // importer, runs the analyzer, applies //mpgraph:allow suppression exactly
 // as the driver does, and diffs findings against expectations. Analyzer
 // Match functions are deliberately ignored so fixtures can use short
-// package names.
+// package names. Analyzers that list analysis.NeedDataflow in Requires get
+// a dataflow summary built for each fixture package, exactly as the driver
+// would.
+//
+// RunFix additionally exercises an analyzer's suggested fixes: the fixture
+// package is rewritten with ApplyFixes and every changed file is diffed
+// against its committed <file>.golden sibling; the fixed sources are then
+// re-analysed to prove the fixes are idempotent (a second -fix pass changes
+// nothing). Set MPGRAPH_UPDATE_GOLDEN=1 to regenerate goldens after an
+// intentional fix-format change.
 package analysistest
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -27,6 +38,7 @@ import (
 	"testing"
 
 	"mpgraph/internal/analysis"
+	"mpgraph/internal/analysis/dataflow"
 )
 
 // wantRE matches one or more double- or backtick-quoted patterns after
@@ -42,11 +54,22 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
 		dir := filepath.Join(testdata, "src", pkg)
-		runPackage(t, dir, pkg, a)
+		fx := loadFixture(t, dir, pkg)
+		checkWants(t, fx, analyze(t, fx, a))
 	}
 }
 
-func runPackage(t *testing.T, dir, name string, a *analysis.Analyzer) {
+// fixture is one parsed and type-checked fixture package.
+type fixture struct {
+	dir   string
+	name  string
+	fset  *token.FileSet
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
+func loadFixture(t *testing.T, dir, name string) *fixture {
 	t.Helper()
 	fset := token.NewFileSet()
 	ents, err := os.ReadDir(dir)
@@ -80,21 +103,35 @@ func runPackage(t *testing.T, dir, name string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("type-check %s: %v", name, err)
 	}
+	return &fixture{dir: dir, name: name, fset: fset, files: files, tpkg: tpkg, info: info}
+}
 
+// analyze runs the analyzer on the fixture and returns the filtered,
+// suppression-applied diagnostics — the same view the driver prints.
+func analyze(t *testing.T, fx *fixture, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
 	var diags []analysis.Diagnostic
-	pass := analysis.NewPass(a, fset, files, tpkg, info, &diags)
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s on %s: %v", a.Name, name, err)
+	pass := analysis.NewPass(a, fx.fset, fx.files, fx.tpkg, fx.info, &diags)
+	if a.NeedsDataflow() {
+		pass.Dataflow = dataflow.New(fx.fset, fx.files, fx.info)
 	}
-	sup := analysis.CollectSuppressions(fset, files)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, fx.name, err)
+	}
+	sup := analysis.CollectSuppressions(fx.fset, fx.files)
+	return analysis.Filter(fx.fset, diags, sup)
+}
+
+func checkWants(t *testing.T, fx *fixture, diags []analysis.Diagnostic) {
+	t.Helper()
 	got := map[string][]string{} // file:line -> messages
-	for _, d := range analysis.Filter(fset, diags, sup) {
-		pos := fset.Position(d.Pos)
+	for _, d := range diags {
+		pos := fx.fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 		got[key] = append(got[key], d.Message)
 	}
 
-	want := wantComments(t, fset, files)
+	want := wantComments(t, fx.fset, fx.files)
 	for key, patterns := range want {
 		msgs := got[key]
 		if len(msgs) != len(patterns) {
@@ -114,6 +151,107 @@ func runPackage(t *testing.T, dir, name string, a *analysis.Analyzer) {
 	for key, msgs := range got {
 		if _, ok := want[key]; !ok {
 			t.Errorf("%s: unexpected finding(s) %q", key, msgs)
+		}
+	}
+}
+
+// RunFix applies the analyzer's suggested fixes to each fixture package and
+// checks the result two ways:
+//
+//  1. golden diff — every file the fixes change must match its committed
+//     <file>.golden sibling byte for byte, and a file with no golden must be
+//     left untouched;
+//  2. idempotency — the fixed sources (written to a scratch dir) are parsed,
+//     type-checked, and re-analysed; a second ApplyFixes pass must rewrite
+//     nothing, so -fix converges in one run.
+//
+// The type-check of the fixed sources doubles as a syntactic/semantic
+// validity proof for the synthesised code. Set MPGRAPH_UPDATE_GOLDEN=1 to
+// rewrite the goldens from the current fix output.
+func RunFix(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	update := os.Getenv("MPGRAPH_UPDATE_GOLDEN") != ""
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		fx := loadFixture(t, dir, pkg)
+		diags := analyze(t, fx, a)
+		res, err := analysis.ApplyFixes(fx.fset, diags, nil)
+		if err != nil {
+			t.Fatalf("%s: ApplyFixes: %v", pkg, err)
+		}
+		if res.Skipped > 0 {
+			t.Errorf("%s: %d fix(es) skipped for overlap within a single fixture", pkg, res.Skipped)
+		}
+
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anyChanged := false
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			golden := path + ".golden"
+			fixed, changed := res.Files[path]
+			anyChanged = anyChanged || changed
+			if update {
+				if changed {
+					if err := os.WriteFile(golden, fixed, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				continue
+			}
+			want, err := os.ReadFile(golden)
+			if errors.Is(err, fs.ErrNotExist) {
+				if changed {
+					t.Errorf("%s: fixes rewrite the file but no %s.golden is committed", path, e.Name())
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !changed {
+				t.Errorf("%s: %s.golden exists but fixes leave the file untouched", path, e.Name())
+				continue
+			}
+			if string(fixed) != string(want) {
+				t.Errorf("%s: fixed output differs from golden\n--- got ---\n%s\n--- want ---\n%s", path, fixed, want)
+			}
+		}
+		if update || !anyChanged {
+			continue
+		}
+
+		// Idempotency: materialise the fixed package and run fix again.
+		tmp := t.TempDir()
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			src, ok := res.Files[path]
+			if !ok {
+				if src, err = os.ReadFile(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(filepath.Join(tmp, e.Name()), src, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fx2 := loadFixture(t, tmp, pkg)
+		res2, err := analysis.ApplyFixes(fx2.fset, analyze(t, fx2, a), nil)
+		if err != nil {
+			t.Fatalf("%s: ApplyFixes on fixed sources: %v", pkg, err)
+		}
+		if len(res2.Files) != 0 {
+			for path, src := range res2.Files {
+				t.Errorf("%s: fixes are not idempotent; second pass rewrites %s to:\n%s", pkg, path, src)
+			}
 		}
 	}
 }

@@ -3,32 +3,59 @@ package analysis
 import (
 	"fmt"
 	"io"
+
+	"mpgraph/internal/analysis/dataflow"
 )
 
-// RunAnalyzers applies every analyzer (honouring Match) to every package,
-// filters //mpgraph:allow-suppressed findings, prints the rest to w in
-// file:line:col style, and returns the number of findings printed.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, error) {
-	total := 0
+// Analyze applies every analyzer (honouring Match) to every package and
+// returns the surviving findings: //mpgraph:allow-suppressed diagnostics are
+// dropped, repeats at one position are collapsed, and the result is sorted
+// by file position — the packages arrive sorted from the loader and share
+// its FileSet, so the concatenated order is stable run to run. Shared facts
+// (the dataflow summary) are computed once per package, and only when some
+// analyzer that runs on it asks.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
 	for _, pkg := range pkgs {
+		var df *dataflow.Info
 		var diags []Diagnostic
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
 			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, &diags)
+			if a.NeedsDataflow() {
+				if df == nil {
+					df = dataflow.New(pkg.Fset, pkg.Files, pkg.Info)
+				}
+				pass.Dataflow = df
+			}
 			if err := a.Run(pass); err != nil {
-				return total, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+				return all, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 		if len(diags) == 0 {
 			continue
 		}
 		sup := CollectSuppressions(pkg.Fset, pkg.Files)
-		for _, d := range Filter(pkg.Fset, diags, sup) {
-			fmt.Fprintf(w, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-			total++
+		all = append(all, Filter(pkg.Fset, diags, sup)...)
+	}
+	return all, nil
+}
+
+// RunAnalyzers runs Analyze and prints the findings to w in file:line:col
+// style, returning the number printed. Every package shares the loader's
+// FileSet, so positions from any package resolve against any other's.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, error) {
+	if len(pkgs) == 0 {
+		return 0, nil
+	}
+	diags, err := Analyze(pkgs, analyzers)
+	if len(diags) > 0 {
+		fset := pkgs[0].Fset
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 		}
 	}
-	return total, nil
+	return len(diags), err
 }

@@ -1,0 +1,170 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"mpgraph/internal/analysis/dataflow"
+)
+
+// parse type-checks one in-memory file (no imports, so no importer needed)
+// and builds its dataflow summary.
+func parse(t *testing.T, src string) (*dataflow.Info, *types.Info, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return dataflow.New(fset, []*ast.File{f}, info), info, []*ast.File{f}
+}
+
+func funcDecl(t *testing.T, files []*ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+const taintSrc = `package x
+
+func source() int { return 1 }
+
+func chain() int {
+	a := source()
+	b := a + 1
+	c := b * 2
+	d := 5 // untainted
+	_ = d
+	var e int
+	e += c
+	return e
+}
+`
+
+// TestTaintChain: taint from a seed call must flow through :=, binary ops
+// and op-assign chains, and must not leak onto unrelated variables.
+func TestTaintChain(t *testing.T) {
+	in, info, files := parse(t, taintSrc)
+	fd := funcDecl(t, files, "chain")
+	flow := in.FuncFlow(fd)
+	isSeed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		obj := dataflow.Callee(info, call)
+		return obj != nil && obj.Name() == "source"
+	}
+	tainted := flow.Tainted(info, nil, isSeed)
+	wantTainted := map[string]bool{"a": true, "b": true, "c": true, "e": true, "d": false}
+	for name, want := range wantTainted {
+		got := false
+		for obj := range tainted {
+			if obj.Name() == name {
+				got = true
+			}
+		}
+		if got != want {
+			t.Errorf("taint(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+const rangeSrc = `package x
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// TestRangeDefs: range clauses define their key object from the ranged
+// expression, and the appended slice inherits the taint.
+func TestRangeDefs(t *testing.T) {
+	in, info, files := parse(t, rangeSrc)
+	fd := funcDecl(t, files, "keys")
+	flow := in.FuncFlow(fd)
+	// Seed the map parameter object.
+	var mObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "m" {
+			mObj = obj
+		}
+	}
+	if mObj == nil {
+		t.Fatal("no object for m")
+	}
+	tainted := flow.Tainted(info, map[types.Object]bool{mObj: true}, nil)
+	var gotK, gotOut bool
+	for obj := range tainted {
+		switch obj.Name() {
+		case "k":
+			gotK = true
+		case "out":
+			gotOut = true
+		}
+	}
+	if !gotK || !gotOut {
+		t.Fatalf("range taint: k=%v out=%v, want both true", gotK, gotOut)
+	}
+}
+
+const callSrc = `package x
+
+func alloc() []int { return make([]int, 4) }
+func mid() []int   { return alloc() }
+func top() []int   { return mid() }
+func clean() int   { return 7 }
+`
+
+// TestClosure: caller-ward transitive closure over the package call graph.
+func TestClosure(t *testing.T) {
+	in, info, files := parse(t, callSrc)
+	_ = files
+	base := map[types.Object]bool{}
+	for obj := range in.Funcs {
+		if obj.Name() == "alloc" {
+			base[obj] = true
+		}
+	}
+	if len(base) != 1 {
+		t.Fatalf("expected one seed func, got %d", len(base))
+	}
+	closed := in.Closure(base)
+	want := map[string]bool{"alloc": true, "mid": true, "top": true, "clean": false}
+	for name, wantIn := range want {
+		gotIn := false
+		for obj := range closed {
+			if obj.Name() == name {
+				gotIn = true
+			}
+		}
+		if gotIn != wantIn {
+			t.Errorf("closure(%s) = %v, want %v", name, gotIn, wantIn)
+		}
+	}
+	_ = info
+}

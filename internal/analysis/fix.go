@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// FixResult summarises one ApplyFixes run.
+type FixResult struct {
+	// Files maps each edited filename to its rewritten content.
+	Files map[string][]byte
+	// Applied counts the suggested fixes that were applied in full.
+	Applied int
+	// Skipped counts fixes dropped because an edit overlapped one already
+	// applied (rerunning -fix picks them up once the tree has settled).
+	Skipped int
+}
+
+// ApplyFixes materialises the diagnostics' suggested fixes as file rewrites.
+// Only the first fix of each diagnostic is considered (the analyzer's
+// preferred rewrite). Edits are applied per file in ascending position
+// order; a fix whose edits overlap an already-accepted edit is skipped
+// whole, so the result of one pass is always a valid non-conflicting
+// patch set. readFile defaults to os.ReadFile; tests inject fixture
+// sources.
+//
+// The caller decides what to do with the result: the driver's -fix mode
+// writes Files back to disk, analysistest diffs them against .golden
+// fixtures.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (*FixResult, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	type edit struct {
+		start, end int // byte offsets
+		newText    string
+	}
+	type fix struct {
+		file  string
+		edits []edit
+	}
+
+	// Resolve each diagnostic's preferred fix to byte-offset edits.
+	var fixes []fix
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		sf := d.SuggestedFixes[0]
+		if len(sf.TextEdits) == 0 {
+			continue
+		}
+		var fx fix
+		ok := true
+		for _, te := range sf.TextEdits {
+			pos, end := fset.Position(te.Pos), fset.Position(te.End)
+			if !pos.IsValid() || !end.IsValid() || pos.Filename != end.Filename || end.Offset < pos.Offset {
+				ok = false
+				break
+			}
+			if fx.file == "" {
+				fx.file = pos.Filename
+			}
+			if pos.Filename != fx.file {
+				ok = false // fixes are single-file by contract
+				break
+			}
+			fx.edits = append(fx.edits, edit{start: pos.Offset, end: end.Offset, newText: te.NewText})
+		}
+		if ok && fx.file != "" {
+			fixes = append(fixes, fx)
+		}
+	}
+
+	res := &FixResult{Files: map[string][]byte{}}
+	if len(fixes) == 0 {
+		return res, nil
+	}
+
+	// Accept fixes in deterministic order (file, first edit position),
+	// dropping any whose edits overlap an accepted edit in the same file.
+	sort.SliceStable(fixes, func(i, j int) bool {
+		if fixes[i].file != fixes[j].file {
+			return fixes[i].file < fixes[j].file
+		}
+		return fixes[i].edits[0].start < fixes[j].edits[0].start
+	})
+	accepted := map[string][]edit{}
+	for _, fx := range fixes {
+		conflict := false
+		var fresh []edit
+		for _, e := range fx.edits {
+			dup := false
+			for _, a := range accepted[fx.file] {
+				if e == a {
+					// Byte-identical edits merge: several fixes in one file
+					// may all insert the same import, and that agreement is
+					// not a conflict.
+					dup = true
+					break
+				}
+				// Two ranges overlap unless one ends at or before the other
+				// starts; differing insertions at the same offset conflict.
+				if e.start < a.end && a.start < e.end {
+					conflict = true
+					break
+				}
+				if e.start == e.end && a.start == a.end && e.start == a.start {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+			if !dup {
+				fresh = append(fresh, e)
+			}
+		}
+		if conflict {
+			res.Skipped++
+			continue
+		}
+		accepted[fx.file] = append(accepted[fx.file], fresh...)
+		res.Applied++
+	}
+
+	// Rewrite each touched file back-to-front so earlier offsets stay valid
+	// (files in sorted order so partial-failure errors are deterministic).
+	files := make([]string, 0, len(accepted))
+	for file := range accepted {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := accepted[file]
+		src, err := readFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes to %s: %w", file, err)
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start > edits[j].start
+			}
+			return edits[i].end > edits[j].end
+		})
+		out := src
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(out) {
+				return nil, fmt.Errorf("analysis: fix edit [%d,%d) outside %s (%d bytes)", e.start, e.end, file, len(out))
+			}
+			var next []byte
+			next = append(next, out[:e.start]...)
+			next = append(next, e.newText...)
+			next = append(next, out[e.end:]...)
+			out = next
+		}
+		res.Files[file] = out
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mpgraph/internal/analysis"
+)
+
+// parseOne registers src as filename in a fresh FileSet so token.Pos values
+// can be minted from byte offsets.
+func parseOne(t *testing.T, filename, src string) (*token.FileSet, *token.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, filename, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	var tf *token.File
+	fset.Iterate(func(f *token.File) bool { tf = f; return false })
+	return fset, tf
+}
+
+const fixSrc = `package p
+
+var a = 1
+var b = 2
+`
+
+// TestApplyFixes: edits apply at the right offsets, overlapping fixes are
+// skipped whole, and untouched files are not rewritten.
+func TestApplyFixes(t *testing.T) {
+	fset, tf := parseOne(t, "p.go", fixSrc)
+	pos := func(off int) token.Pos { return tf.Pos(off) }
+
+	// "var a = 1" occupies offsets [11,20); replace the literal 1 at [19,20).
+	diags := []analysis.Diagnostic{
+		{
+			Pos: pos(19), Message: "one", Analyzer: "t",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message:   "bump",
+				TextEdits: []analysis.TextEdit{{Pos: pos(19), End: pos(20), NewText: "10"}},
+			}},
+		},
+		{
+			// Overlaps the first fix: must be skipped, not merged.
+			Pos: pos(19), Message: "conflict", Analyzer: "t",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message:   "conflicting bump",
+				TextEdits: []analysis.TextEdit{{Pos: pos(19), End: pos(20), NewText: "99"}},
+			}},
+		},
+		{
+			// Independent edit later in the file: literal 2 at [29,30).
+			Pos: pos(29), Message: "two", Analyzer: "t",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message:   "bump",
+				TextEdits: []analysis.TextEdit{{Pos: pos(29), End: pos(30), NewText: "20"}},
+			}},
+		},
+	}
+	res, err := analysis.ApplyFixes(fset, diags, func(string) ([]byte, error) {
+		return []byte(fixSrc), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 2/1", res.Applied, res.Skipped)
+	}
+	want := "package p\n\nvar a = 10\nvar b = 20\n"
+	if got := string(res.Files["p.go"]); got != want {
+		t.Fatalf("rewritten file:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestFilterDeduplicates: two analyzers reporting the same message at the
+// same position collapse to one diagnostic, attributed to the lexically
+// first analyzer; distinct messages at one position both survive.
+func TestFilterDeduplicates(t *testing.T) {
+	fset, tf := parseOne(t, "q.go", fixSrc)
+	p := tf.Pos(11)
+	diags := []analysis.Diagnostic{
+		{Pos: p, Message: "same finding", Analyzer: "zeta"},
+		{Pos: p, Message: "same finding", Analyzer: "alpha"},
+		{Pos: p, Message: "different finding", Analyzer: "zeta"},
+	}
+	got := analysis.Filter(fset, diags, analysis.Suppressions{})
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(got), got)
+	}
+	if got[0].Message != "different finding" {
+		t.Errorf("sorted order wrong: %+v", got)
+	}
+	if got[1].Analyzer != "alpha" {
+		t.Errorf("dedupe kept %q, want lexically-first analyzer alpha", got[1].Analyzer)
+	}
+}

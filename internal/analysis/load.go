@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -204,7 +205,7 @@ func (l *Loader) load(path string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("analysis: parsing %s: %s", path, positionedErrors(err))
 		}
 		files = append(files, f)
 	}
@@ -218,12 +219,52 @@ func (l *Loader) load(path string) (*Package, error) {
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: l}
+	// Collect every type error with its file:line:col position instead of
+	// stopping at the first: a CI failure that names only the package makes
+	// the developer rerun the type-checker by hand to find the line.
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			// types.Error.Error() already renders "file:line:col: msg";
+			// secondary errors (prefixed "\t") ride along with their primary.
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", path, strings.Join(clipErrors(typeErrs, 10), "\n\t"))
+	}
 	if err != nil {
+		// Importer failures and other non-positioned errors bypass the
+		// Error callback.
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// positionedErrors renders a parse failure with every contained position: a
+// scanner.ErrorList's Error() shows only the first error plus a count,
+// which hides the rest of the lines the developer has to fix.
+func positionedErrors(err error) string {
+	list, ok := err.(scanner.ErrorList)
+	if !ok {
+		return err.Error()
+	}
+	msgs := make([]string, len(list))
+	for i, e := range list {
+		msgs[i] = e.Error() // "file:line:col: msg"
+	}
+	return strings.Join(clipErrors(msgs, 10), "\n\t")
+}
+
+// clipErrors bounds an error listing at max entries.
+func clipErrors(msgs []string, max int) []string {
+	if len(msgs) <= max {
+		return msgs
+	}
+	out := append([]string{}, msgs[:max]...)
+	return append(out, fmt.Sprintf("... and %d more", len(msgs)-max))
 }

@@ -1,0 +1,76 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/analysis"
+)
+
+// writeModule lays out a throwaway module for loader tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadErrorsCarryPositions: a type error in a loaded package must
+// surface with its file:line position (not just the package path), and
+// every error must be listed, not only the first.
+func TestLoadErrorsCarryPositions(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/broken\n\ngo 1.22\n",
+		"bad/bad.go": `package bad
+
+func f() int { return "not an int" }
+
+func g() string { return 42 }
+`,
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load([]string{"./bad"})
+	if err == nil {
+		t.Fatal("want type-check error, got nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bad.go:3") {
+		t.Errorf("error lacks first position: %q", msg)
+	}
+	if !strings.Contains(msg, "bad.go:5") {
+		t.Errorf("error lacks second position (only first error reported): %q", msg)
+	}
+}
+
+// TestLoadParseErrorsCarryPositions: syntax errors must also surface with
+// positions.
+func TestLoadParseErrorsCarryPositions(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/syntax\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nfunc f() {\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load([]string{"./p"})
+	if err == nil {
+		t.Fatal("want parse error, got nil")
+	}
+	if !strings.Contains(err.Error(), "p.go:") {
+		t.Errorf("parse error lacks position: %q", err.Error())
+	}
+}

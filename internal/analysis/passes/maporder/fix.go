@@ -1,0 +1,220 @@
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+
+	"mpgraph/internal/analysis"
+)
+
+// sortedKeysFix builds the mechanical rewrite of a flagged map range:
+//
+//	for k, v := range m { BODY }
+//
+// becomes
+//
+//	ks := make([]K, 0, len(m))
+//	for k := range m {
+//		ks = append(ks, k)
+//	}
+//	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+//	for _, k := range ks {
+//		v := m[k]
+//		BODY
+//	}
+//
+// (plus a "sort" import when the file lacks one). Only the loop header is
+// replaced — BODY text, including break/continue semantics, is untouched.
+// The fix is offered only when it is provably safe to synthesise: a named,
+// :=-declared key of an ordered type, a side-effect-free (identifier or
+// selector) map expression, and a fresh name available for the key slice.
+func sortedKeysFix(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, rs *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	var fix analysis.SuggestedFix
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
+		return fix, false
+	}
+	mapText, ok := exprText(rs.X)
+	if !ok {
+		return fix, false
+	}
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return fix, false
+	}
+	mt, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return fix, false
+	}
+	basic, ok := mt.Key().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsOrdered == 0 {
+		return fix, false
+	}
+	keyTypeText, ok := typeText(pass.Pkg, mt.Key())
+	if !ok {
+		return fix, false
+	}
+	keysName := key.Name + "s"
+	if identInUse(fd, keysName) {
+		return fix, false
+	}
+	indent, ok := lineIndent(pass.Fset, rs.For)
+	if !ok {
+		return fix, false
+	}
+	inner := indent + "\t"
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyTypeText, mapText)
+	fmt.Fprintf(&b, "%sfor %s := range %s {\n", indent, key.Name, mapText)
+	fmt.Fprintf(&b, "%s%s = append(%s, %s)\n", inner, keysName, keysName, key.Name)
+	fmt.Fprintf(&b, "%s}\n", indent)
+	fmt.Fprintf(&b, "%ssort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n",
+		indent, keysName, keysName, keysName)
+	fmt.Fprintf(&b, "%sfor _, %s := range %s {", indent, key.Name, keysName)
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+		fmt.Fprintf(&b, "\n%s%s := %s[%s]", inner, v.Name, mapText, key.Name)
+	}
+
+	fix = analysis.SuggestedFix{
+		Message: "iterate over sorted keys",
+		TextEdits: []analysis.TextEdit{
+			{Pos: rs.For, End: rs.Body.Lbrace + 1, NewText: b.String()},
+		},
+	}
+	if edit, needed, ok := sortImportEdit(file); ok {
+		if needed {
+			fix.TextEdits = append(fix.TextEdits, edit)
+		}
+	} else {
+		return analysis.SuggestedFix{}, false // "sort" imported under an alias: cannot name it
+	}
+	return fix, true
+}
+
+// exprText renders side-effect-free map expressions (identifiers and
+// selector chains); anything else may not be safe to evaluate twice.
+func exprText(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprText(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	}
+	return "", false
+}
+
+// typeText renders the key type for the generated make call. Foreign named
+// types would need the file's import alias, so the fix bails on them.
+func typeText(pkg *types.Package, t types.Type) (string, bool) {
+	switch tt := t.(type) {
+	case *types.Basic:
+		return tt.Name(), true
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() == nil || obj.Pkg() == pkg {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// identInUse reports whether name occurs anywhere in the function — a
+// conservative freshness check for the synthesised key-slice variable.
+func identInUse(fd *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// lineIndent reads the leading whitespace of pos's line from the source
+// file, so synthesised lines align with the loop they replace.
+func lineIndent(fset *token.FileSet, pos token.Pos) (string, bool) {
+	p := fset.Position(pos)
+	src, err := os.ReadFile(p.Filename)
+	if err != nil {
+		return "", false
+	}
+	start := p.Offset - (p.Column - 1)
+	if start < 0 || p.Offset > len(src) {
+		return "", false
+	}
+	line := src[start:p.Offset]
+	for _, c := range line {
+		if c != ' ' && c != '\t' {
+			return "", false // something other than indent precedes the `for`
+		}
+	}
+	return string(line), true
+}
+
+// sortImportEdit locates or synthesises the "sort" import. Returns
+// (edit, neededInsertion, usableAsSort).
+func sortImportEdit(file *ast.File) (analysis.TextEdit, bool, bool) {
+	var importDecl *ast.GenDecl
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if importDecl == nil {
+			importDecl = gd
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if is.Path.Value != `"sort"` {
+				continue
+			}
+			if is.Name != nil && is.Name.Name != "sort" {
+				return analysis.TextEdit{}, false, false
+			}
+			return analysis.TextEdit{}, false, true // already imported
+		}
+	}
+	if importDecl == nil {
+		// No imports at all: start a block after the package clause.
+		return analysis.TextEdit{
+			Pos: file.Name.End(), End: file.Name.End(),
+			NewText: "\n\nimport \"sort\"",
+		}, true, true
+	}
+	if !importDecl.Lparen.IsValid() {
+		// Single-line import declaration: add a sibling declaration.
+		return analysis.TextEdit{
+			Pos: importDecl.End(), End: importDecl.End(),
+			NewText: "\nimport \"sort\"",
+		}, true, true
+	}
+	// Grouped imports: insert in path-sorted position.
+	for _, spec := range importDecl.Specs {
+		is := spec.(*ast.ImportSpec)
+		if is.Path.Value > `"sort"` {
+			return analysis.TextEdit{
+				Pos: is.Pos(), End: is.Pos(),
+				NewText: "\"sort\"\n\t",
+			}, true, true
+		}
+	}
+	last := importDecl.Specs[len(importDecl.Specs)-1]
+	return analysis.TextEdit{
+		Pos: last.End(), End: last.End(),
+		NewText: "\n\t\"sort\"",
+	}, true, true
+}

@@ -1,0 +1,48 @@
+// Package a holds maporder positives; a.go.golden is the committed output
+// of applying the analyzer's sorted-keys fixes.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FloatAccum folds map values with +=: float addition is not associative,
+// so the sum depends on iteration order.
+func FloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for k, v := range m { // want `map iteration order reaches non-associative accumulation into "total"`
+		_ = k
+		total += v
+	}
+	return total
+}
+
+// Emit renders rows straight from the map range: line order is random.
+func Emit(m map[int]string) string {
+	var b strings.Builder
+	for k, v := range m { // want `map iteration order reaches order-sensitive sink fmt.Fprintf`
+		fmt.Fprintf(&b, "%d=%s\n", k, v)
+	}
+	return b.String()
+}
+
+// Collect gathers keys into a slice that is never sorted afterwards.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order reaches append to "out", which is never sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Chained launders the value through intermediates before emitting, so the
+// sink is only reachable through the dataflow taint chain.
+func Chained(m map[string]string, w *strings.Builder) {
+	for k, v := range m { // want `map iteration order reaches order-sensitive sink \(method\) WriteString`
+		_ = k
+		upper := strings.ToUpper(v)
+		label := upper + "\n"
+		w.WriteString(label)
+	}
+}

@@ -1,0 +1,52 @@
+// Package b holds maporder negatives: sanctioned sorted-keys collection,
+// order-independent folds, and the reasoned escape hatch.
+package b
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SortedCollect is the sanctioned pattern: collect keys, sort, then emit.
+func SortedCollect(m map[string]int) string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b strings.Builder
+	for _, k := range ks {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// IntSum folds with integer +=, which is associative and commutative:
+// iteration order cannot change the result.
+func IntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// MapCopy writes into another map: order-independent.
+func MapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Suppressed is genuinely order-dependent but deliberately tolerated, so it
+// carries the reasoned line directive the driver honours.
+func Suppressed(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { //mpgraph:allow maporder -- tolerance test accepts any summation order
+		s += v
+	}
+	return s
+}

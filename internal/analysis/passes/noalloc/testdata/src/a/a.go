@@ -1,0 +1,64 @@
+// Package a holds noalloc positives: every allocation construct the
+// analyzer detects, inside marked functions.
+package a
+
+//mpgraph:noalloc
+func MakeSlice(n int) []int {
+	return make([]int, n) // want `MakeSlice is marked //mpgraph:noalloc but calls make`
+}
+
+//mpgraph:noalloc
+func NewInt() *int {
+	return new(int) // want `NewInt is marked //mpgraph:noalloc but calls new`
+}
+
+//mpgraph:noalloc
+func GrowLocal(xs []int) []int {
+	var local []int
+	local = append(local, xs...) // want `GrowLocal is marked //mpgraph:noalloc but appends to local, which is not a caller-provided parameter`
+	return local
+}
+
+//mpgraph:noalloc
+func SliceLit() []int {
+	return []int{1, 2, 3} // want `SliceLit is marked //mpgraph:noalloc but builds a slice or map literal`
+}
+
+type point struct{ x, y int }
+
+//mpgraph:noalloc
+func EscapingStruct() *point {
+	return &point{1, 2} // want `EscapingStruct is marked //mpgraph:noalloc but takes the address of a composite literal`
+}
+
+//mpgraph:noalloc
+func Concat(a, b string) string {
+	return a + b // want `Concat is marked //mpgraph:noalloc but concatenates strings`
+}
+
+//mpgraph:noalloc
+func Closure(n int) func() int {
+	return func() int { return n } // want `Closure is marked //mpgraph:noalloc but builds a capturing closure`
+}
+
+func helper(xs []float64) { clear(xs) }
+
+//mpgraph:noalloc
+func CallsUnmarked(xs []float64) {
+	helper(xs) // want `CallsUnmarked is marked //mpgraph:noalloc but calls helper, which is not marked //mpgraph:noalloc`
+}
+
+//mpgraph:noalloc
+func Dynamic(f func()) {
+	f() // want `Dynamic is marked //mpgraph:noalloc but makes a dynamic call the analyzer cannot verify`
+}
+
+//mpgraph:noalloc
+func Spawn(f func()) {
+	go f() // want `Spawn is marked //mpgraph:noalloc but starts a goroutine` `Spawn is marked //mpgraph:noalloc but makes a dynamic call the analyzer cannot verify`
+}
+
+//mpgraph:noalloc
+func Stringify(bs []byte) string {
+	return string(bs) // want `Stringify is marked //mpgraph:noalloc but converts between string and slice`
+}

@@ -1,0 +1,64 @@
+// Package b holds noalloc negatives: marked functions that stay within the
+// discipline, plus each escape hatch the analyzer honours.
+package b
+
+import "math"
+
+//mpgraph:noalloc
+func leaf(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += math.Abs(v) // exempt package
+	}
+	return s
+}
+
+// callsMarked chains through another marked function: the obligation is
+// discharged transitively.
+//
+//mpgraph:noalloc
+func callsMarked(xs []float64) float64 {
+	return leaf(xs)
+}
+
+// appendToParam grows a caller-provided buffer — the sanctioned amortised
+// reuse pattern.
+//
+//mpgraph:noalloc
+func appendToParam(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+type ctx struct{ buf []float64 }
+
+// nilGuard allocates only on the nil-receiver fallback path, which the
+// analyzer skips as the sanctioned slow-path dispatch idiom.
+//
+//mpgraph:noalloc
+func nilGuard(c *ctx, n int) []float64 {
+	if c == nil {
+		return make([]float64, n)
+	}
+	return c.buf[:n]
+}
+
+type pair struct{ a, b int }
+
+// valueLiteral returns a plain struct value: stack-allocated, not flagged.
+//
+//mpgraph:noalloc
+func valueLiteral(a, b int) pair {
+	return pair{a, b}
+}
+
+// allowed documents a deliberate allocation with the line directive.
+//
+//mpgraph:noalloc
+func allowed(n int) []int {
+	return make([]int, n) //mpgraph:allow noalloc -- growth fallback exercised in tests only
+}
+
+// unmarked functions may allocate freely.
+func unmarked() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,29 @@
+// Package a holds walltime positives; a.go.golden shows each finding
+// resolved by the inserted allow directive.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Stamp embeds the current time in a rendered report row.
+func Stamp(b *strings.Builder) {
+	now := time.Now()
+	fmt.Fprintf(b, "generated at %s\n", now.Format(time.RFC3339)) // want `wall-clock time reaches run-dependent sink fmt.Fprintf`
+}
+
+// Elapsed folds a measured latency into an event-log line.
+func Elapsed(log *strings.Builder, f func()) {
+	t0 := time.Now()
+	f()
+	dur := time.Since(t0)
+	log.WriteString(dur.String()) // want `wall-clock time reaches run-dependent sink \(method\) WriteString`
+}
+
+// SeedFromClock seeds a PRNG from the wall clock, destroying replayability.
+func SeedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock time reaches run-dependent sink seeding call NewSource`
+}

@@ -1,0 +1,45 @@
+// Package b holds walltime negatives: latency-budget predicates, the
+// function-level marker, and the reasoned line directive.
+package b
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Budget reads the clock only to enforce a deadline: the measured duration
+// never reaches rendered output, which is exactly the guarded-prefetcher
+// pattern the analyzer must not flag.
+func Budget(f func()) bool {
+	t0 := time.Now()
+	f()
+	return time.Since(t0) < 5*time.Millisecond
+}
+
+// Telemetry is a deliberately wall-clocked diagnostic surface, exempted
+// wholesale by the doc-comment marker.
+//
+//mpgraph:allow-walltime -- latency telemetry reads the real clock by design
+func Telemetry(b *strings.Builder) {
+	fmt.Fprintf(b, "at %v\n", time.Now())
+}
+
+// Suppressed documents a single deliberate wall-clock emission in place.
+func Suppressed(b *strings.Builder) {
+	fmt.Fprintf(b, "at %v\n", time.Now()) //mpgraph:allow walltime -- debugging aid outside the byte-identity surface
+}
+
+// Derived shows that a duration used arithmetically but kept out of sinks
+// stays silent even though it is tainted.
+func Derived(f func()) int {
+	t0 := time.Now()
+	f()
+	spent := time.Since(t0)
+	retries := 0
+	for spent > time.Second {
+		spent /= 2
+		retries++
+	}
+	return retries
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"mpgraph/internal/frameworks"
 	"mpgraph/internal/trace"
@@ -143,10 +144,16 @@ func clusterSeparation(proj [][]float64, labels []int) float64 {
 	if len(byPhase) < 2 {
 		return 0
 	}
+	phases := make([]int, 0, len(byPhase))
+	for ph := range byPhase {
+		phases = append(phases, ph)
+	}
+	sort.Ints(phases)
 	centroids := map[int][]float64{}
 	within := 0.0
 	n := 0
-	for ph, rows := range byPhase {
+	for _, ph := range phases {
+		rows := byPhase[ph]
 		c := make([]float64, len(rows[0]))
 		for _, row := range rows {
 			for j, v := range row {
@@ -165,10 +172,6 @@ func clusterSeparation(proj [][]float64, labels []int) float64 {
 	within /= float64(n)
 	between := 0.0
 	pairs := 0
-	phases := make([]int, 0, len(centroids))
-	for ph := range centroids {
-		phases = append(phases, ph)
-	}
 	for i := 0; i < len(phases); i++ {
 		for j := i + 1; j < len(phases); j++ {
 			between += dist(centroids[phases[i]], centroids[phases[j]])

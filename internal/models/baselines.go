@@ -12,6 +12,8 @@ func exp(x float64) float64 { return math.Exp(x) }
 
 // hashPC folds a PC into a [0,1) feature, the "hashed and normalized"
 // encoding the paper uses where the PC is side information.
+//
+//mpgraph:noalloc
 func hashPC(pc uint64) float64 {
 	pc ^= pc >> 33
 	pc *= 0xff51afd7ed558ccd

@@ -48,9 +48,13 @@ func BuildVocab(values []uint64, capacity int) *Vocab {
 }
 
 // Token returns the token for v (0 when OOV).
+//
+//mpgraph:noalloc
 func (v *Vocab) Token(x uint64) int { return v.tokens[x] }
 
 // Value returns the value behind token t; ok=false for OOV/unknown tokens.
+//
+//mpgraph:noalloc
 func (v *Vocab) Value(t int) (uint64, bool) {
 	if t <= 0 || t >= len(v.values) {
 		return 0, false
@@ -76,6 +80,8 @@ func SegmentBlock(cfg Config, block uint64) []float64 {
 
 // SegmentBlockInto writes the segmentation of block into out (length
 // cfg.NumSegments) without allocating.
+//
+//mpgraph:noalloc
 func SegmentBlockInto(cfg Config, block uint64, out []float64) {
 	mask := uint64(1)<<cfg.SegmentBits - 1
 	norm := float64(mask)

@@ -46,6 +46,7 @@ func TopPagesWith(c *tensor.Ctx, m PageModel, s *Sample, k int, dst []uint64) []
 
 // --- encoding helpers (ctx variants of the package-level ones) ---
 
+//mpgraph:noalloc
 func pcTokensCtx(c *tensor.Ctx, v *Vocab, pcs []uint64) []int {
 	out := c.Ints(len(pcs))
 	for i, pc := range pcs {
@@ -54,6 +55,7 @@ func pcTokensCtx(c *tensor.Ctx, v *Vocab, pcs []uint64) []int {
 	return out
 }
 
+//mpgraph:noalloc
 func pageTokensCtx(c *tensor.Ctx, v *Vocab, blocks []uint64) []int {
 	out := c.Ints(len(blocks))
 	for i, b := range blocks {
@@ -63,6 +65,8 @@ func pageTokensCtx(c *tensor.Ctx, v *Vocab, blocks []uint64) []int {
 }
 
 // addrFeatureTensorCtx is AddrFeatureTensor on the arena.
+//
+//mpgraph:noalloc
 func addrFeatureTensorCtx(c *tensor.Ctx, cfg Config, blocks []uint64) *tensor.Tensor {
 	t := c.Zeros(len(blocks), cfg.NumSegments)
 	for i, b := range blocks {
@@ -72,6 +76,8 @@ func addrFeatureTensorCtx(c *tensor.Ctx, cfg Config, blocks []uint64) *tensor.Te
 }
 
 // concatStepFeaturesCtx is concatStepFeatures on the arena.
+//
+//mpgraph:noalloc
 func concatStepFeaturesCtx(c *tensor.Ctx, cfg Config, blocks, pcs []uint64) *tensor.Tensor {
 	cols := cfg.NumSegments + 1
 	t := c.Zeros(len(blocks), cols)
@@ -84,6 +90,8 @@ func concatStepFeaturesCtx(c *tensor.Ctx, cfg Config, blocks, pcs []uint64) *ten
 
 // TopKClassesCtx is TopKClasses with the index scratch drawn from the
 // arena; a nil ctx falls back to the allocating sort.
+//
+//mpgraph:noalloc
 func TopKClassesCtx(c *tensor.Ctx, scores []float64, k int) []int {
 	if c == nil {
 		return TopKClasses(scores, k)
@@ -95,6 +103,8 @@ func TopKClassesCtx(c *tensor.Ctx, scores []float64, k int) []int {
 // len(scores)) by partial selection sort, reproducing TopKClasses' order
 // exactly — descending score, equal scores broken by lower index — without
 // sort.Slice's allocations.
+//
+//mpgraph:noalloc
 func topKSelectInto(idxBuf []int, scores []float64, k int) []int {
 	n := len(scores)
 	for i := range idxBuf {
@@ -119,6 +129,8 @@ func topKSelectInto(idxBuf []int, scores []float64, k int) []int {
 
 // topPagesAppendCtx maps the best-scoring known tokens back to page values,
 // appending to dst (the ctx analogue of topPagesFromScores).
+//
+//mpgraph:noalloc
 func topPagesAppendCtx(c *tensor.Ctx, pages *Vocab, scores []float64, k int, dst []uint64) []uint64 {
 	added := 0
 	for _, tok := range topKSelectInto(c.Ints(len(scores)), scores, k+1) {
@@ -135,19 +147,23 @@ func topPagesAppendCtx(c *tensor.Ctx, pages *Vocab, scores []float64, k int, dst
 
 // --- modality encoder / AMMA core ---
 
+//mpgraph:noalloc
 func (m *modalityEncoder) encodeFeaturesCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	return m.attn.ForwardCtx(c, c.Add(m.lin.ForwardCtx(c, x), m.pos))
 }
 
+//mpgraph:noalloc
 func (m *modalityEncoder) encodeTokensCtx(c *tensor.Ctx, ids []int) *tensor.Tensor {
 	return m.attn.ForwardCtx(c, c.Add(m.table.ForwardCtx(c, ids), m.pos))
 }
 
 // forwardCtx is ammaCore.forward on the fast path.
+//
+//mpgraph:noalloc
 func (core *ammaCore) forwardCtx(c *tensor.Ctx, encA, encB *tensor.Tensor, phase int) *tensor.Tensor {
-	fused := core.fusion.ForwardCtx2(c, encA, encB)
+	fused := core.fusion.ForwardCtx2(c, encA, encB) //mpgraph:allow noalloc -- fixed-arity fast path; the cross-package naming rule keys on a Ctx suffix
 	if core.phaseEmb != nil {
-		p := phase % core.phaseEmb.Vocab()
+		p := phase % core.phaseEmb.Vocab() //mpgraph:allow noalloc -- Vocab is a field read
 		fused = c.AddBias(fused, core.phaseEmb.ForwardCtx(c, phaseIDScratch(c, p)))
 	}
 	for _, tl := range core.trans {
@@ -157,6 +173,8 @@ func (core *ammaCore) forwardCtx(c *tensor.Ctx, encA, encB *tensor.Tensor, phase
 }
 
 // phaseIDScratch builds the single-id lookup slice without a heap alloc.
+//
+//mpgraph:noalloc
 func phaseIDScratch(c *tensor.Ctx, p int) []int {
 	ids := c.Ints(1)
 	ids[0] = p
@@ -165,6 +183,7 @@ func phaseIDScratch(c *tensor.Ctx, p int) []int {
 
 // --- AMMA ---
 
+//mpgraph:noalloc
 func (m *AMMADelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 	if c == nil {
 		return m.logits(s)
@@ -175,6 +194,8 @@ func (m *AMMADelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 }
 
 // DeltaScoresCtx implements DeltaScorerCtx.
+//
+//mpgraph:noalloc
 func (m *AMMADelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
 	if c == nil {
 		return m.DeltaScores(s)
@@ -182,6 +203,7 @@ func (m *AMMADelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
 	return c.SigmoidInPlace(m.logitsCtx(c, s)).Data
 }
 
+//mpgraph:noalloc
 func (m *AMMAPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 	if c == nil {
 		return m.logits(s)
@@ -192,6 +214,8 @@ func (m *AMMAPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 }
 
 // TopPagesAppendCtx implements PageTopperCtx.
+//
+//mpgraph:noalloc
 func (m *AMMAPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
 	if c == nil {
 		return append(dst, m.TopPages(s, k)...)
@@ -201,6 +225,7 @@ func (m *AMMAPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint
 
 // --- baselines ---
 
+//mpgraph:noalloc
 func (m *LSTMDelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 	if c == nil {
 		return m.logits(s)
@@ -209,6 +234,8 @@ func (m *LSTMDelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 }
 
 // DeltaScoresCtx implements DeltaScorerCtx.
+//
+//mpgraph:noalloc
 func (m *LSTMDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
 	if c == nil {
 		return m.DeltaScores(s)
@@ -216,6 +243,7 @@ func (m *LSTMDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
 	return c.SigmoidInPlace(m.logitsCtx(c, s)).Data
 }
 
+//mpgraph:noalloc
 func (m *LSTMPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 	if c == nil {
 		return m.logits(s)
@@ -226,6 +254,8 @@ func (m *LSTMPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 }
 
 // TopPagesAppendCtx implements PageTopperCtx.
+//
+//mpgraph:noalloc
 func (m *LSTMPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
 	if c == nil {
 		return append(dst, m.TopPages(s, k)...)
@@ -233,6 +263,7 @@ func (m *LSTMPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint
 	return topPagesAppendCtx(c, m.pages, m.logitsCtx(c, s).Data, k, dst)
 }
 
+//mpgraph:noalloc
 func (m *AttnDelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 	if c == nil {
 		return m.logits(s)
@@ -245,6 +276,8 @@ func (m *AttnDelta) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 }
 
 // DeltaScoresCtx implements DeltaScorerCtx.
+//
+//mpgraph:noalloc
 func (m *AttnDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
 	if c == nil {
 		return m.DeltaScores(s)
@@ -252,6 +285,7 @@ func (m *AttnDelta) DeltaScoresCtx(c *tensor.Ctx, s *Sample) []float64 {
 	return c.SigmoidInPlace(m.logitsCtx(c, s)).Data
 }
 
+//mpgraph:noalloc
 func (m *AttnPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 	if c == nil {
 		return m.logits(s)
@@ -269,6 +303,8 @@ func (m *AttnPage) logitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
 }
 
 // TopPagesAppendCtx implements PageTopperCtx.
+//
+//mpgraph:noalloc
 func (m *AttnPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
 	if c == nil {
 		return append(dst, m.TopPages(s, k)...)

@@ -30,6 +30,8 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // ForwardCtx is Forward on the ctx fast path (fused GEMM+bias when c is
 // non-nil, the autograd composition when c is nil).
+//
+//mpgraph:noalloc
 func (l *Linear) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	return c.LinearAct(x, l.W, l.B, tensor.ActNone)
 }
@@ -53,6 +55,8 @@ func (e *Embedding) Forward(ids []int) *tensor.Tensor {
 }
 
 // ForwardCtx looks up ids on the ctx fast path.
+//
+//mpgraph:noalloc
 func (e *Embedding) ForwardCtx(c *tensor.Ctx, ids []int) *tensor.Tensor {
 	return c.EmbeddingLookup(e.Table, ids)
 }
@@ -85,6 +89,8 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // ForwardCtx normalises x rows, in one fused pass on the ctx fast path.
+//
+//mpgraph:noalloc
 func (l *LayerNorm) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	return c.LayerNorm(x, l.Gain, l.Bias, l.Eps)
 }
@@ -117,6 +123,8 @@ func (s *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // ForwardCtx attends over x on the ctx fast path (transpose-free scores,
 // in-place softmax when c is non-nil).
+//
+//mpgraph:noalloc
 func (s *SelfAttention) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	q := s.Wq.ForwardCtx(c, x)
 	k := s.Wk.ForwardCtx(c, x)
@@ -153,6 +161,8 @@ func (m *MultiHeadSelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // ForwardCtx attends over x on the ctx fast path.
+//
+//mpgraph:noalloc
 func (m *MultiHeadSelfAttention) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	outs := c.Ptrs(len(m.Heads))
 	for i, h := range m.Heads {
@@ -188,6 +198,8 @@ func (f *FFN) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // ForwardCtx applies the FFN with the ReLU fused into the first GEMM on the
 // ctx fast path.
+//
+//mpgraph:noalloc
 func (f *FFN) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	return f.L2.ForwardCtx(c, c.LinearAct(x, f.L1.W, f.L1.B, tensor.ActReLU))
 }
@@ -220,6 +232,8 @@ func (t *TransformerLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // ForwardCtx applies the layer on the ctx fast path.
+//
+//mpgraph:noalloc
 func (t *TransformerLayer) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	x = t.N1.ForwardCtx(c, c.Add(x, t.MSA.ForwardCtx(c, x)))
 	return t.N2.ForwardCtx(c, c.Add(x, t.FF.ForwardCtx(c, x)))
@@ -247,12 +261,16 @@ func (m *MMAF) Forward(modalities ...*tensor.Tensor) *tensor.Tensor {
 }
 
 // ForwardCtx fuses the modality sequences on the ctx fast path.
+//
+//mpgraph:noalloc
 func (m *MMAF) ForwardCtx(c *tensor.Ctx, modalities ...*tensor.Tensor) *tensor.Tensor {
 	return m.Attn.ForwardCtx(c, c.ConcatRows(modalities...))
 }
 
 // ForwardCtx2 fuses exactly two modality sequences — the AMMA hot path —
 // avoiding the escaping variadic slice a ForwardCtx call site would build.
+//
+//mpgraph:noalloc
 func (m *MMAF) ForwardCtx2(c *tensor.Ctx, a, b *tensor.Tensor) *tensor.Tensor {
 	return m.Attn.ForwardCtx(c, c.ConcatRows2(a, b))
 }
@@ -285,6 +303,8 @@ func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // ForwardCtx applies the MLP with ReLUs fused into the hidden GEMMs on the
 // ctx fast path.
+//
+//mpgraph:noalloc
 func (m *MLP) ForwardCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	for i, l := range m.Layers {
 		act := tensor.ActReLU

@@ -46,6 +46,8 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 // ForwardCtx is Forward on the ctx fast path: each gate is one fused
 // input+recurrent GEMM with the nonlinearity in the epilogue, and the cell
 // and hidden updates are a single in-place loop over the state vectors.
+//
+//mpgraph:noalloc
 func (l *LSTM) ForwardCtx(ctx *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
 	if ctx == nil {
 		h := tensor.Zeros(1, l.Hidden)

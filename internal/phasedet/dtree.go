@@ -94,9 +94,16 @@ func gini(counts map[int]int, total int) float64 {
 	if total == 0 {
 		return 0
 	}
+	// Accumulate in sorted class order: the impurity sum is float and
+	// non-associative, and split selection tie-breaks on exact values.
+	classes := make([]int, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
 	g := 1.0
-	for _, n := range counts {
-		p := float64(n) / float64(total)
+	for _, c := range classes {
+		p := float64(counts[c]) / float64(total)
 		g -= p * p
 	}
 	return g

@@ -179,8 +179,8 @@ func (s *Store) save(path, meta string, write func(io.Writer) error) (err error)
 	}
 	defer func() {
 		if err != nil {
-			f.Close()             //mpgraph:allow errdrop -- already failing; the Close error would mask the root cause
-			os.Remove(tmp)        //mpgraph:allow errdrop -- best-effort cleanup of the temp file on the failure path
+			f.Close()      //mpgraph:allow errdrop -- already failing; the Close error would mask the root cause
+			os.Remove(tmp) //mpgraph:allow errdrop -- best-effort cleanup of the temp file on the failure path
 		}
 	}()
 

@@ -25,6 +25,8 @@ type slab[T any] struct {
 
 // take returns a zeroed slice of n elements, capacity-clamped so appends
 // cannot silently bleed into a neighbouring allocation.
+//
+//mpgraph:noalloc
 func (s *slab[T]) take(n int) []T {
 	s.need += n
 	if s.off+n <= len(s.buf) {
@@ -33,12 +35,14 @@ func (s *slab[T]) take(n int) []T {
 		clear(out)
 		return out
 	}
-	return make([]T, n)
+	return make([]T, n) //mpgraph:allow noalloc -- growth fallback; steady state never reaches it
 }
 
 // takeUninit is take without the zeroing pass, for callers that overwrite
 // every element before reading (fused kernels, concats, lookups). The
 // contents are whatever the previous arena round left behind.
+//
+//mpgraph:noalloc
 func (s *slab[T]) takeUninit(n int) []T {
 	s.need += n
 	if s.off+n <= len(s.buf) {
@@ -46,14 +50,16 @@ func (s *slab[T]) takeUninit(n int) []T {
 		s.off = s.off + n
 		return out
 	}
-	return make([]T, n)
+	return make([]T, n) //mpgraph:allow noalloc -- growth fallback; steady state never reaches it
 }
 
 // reset rewinds the slab, growing the backing buffer to the high-water mark
 // of the round just finished so the next round allocates nothing.
+//
+//mpgraph:noalloc
 func (s *slab[T]) reset() {
 	if s.need > len(s.buf) {
-		s.buf = make([]T, s.need)
+		s.buf = make([]T, s.need) //mpgraph:allow noalloc -- one-shot growth to the high-water mark
 	}
 	s.off = 0
 	s.need = 0
@@ -83,6 +89,8 @@ func NewCtx() *Ctx { return &Ctx{} }
 // Reset rewinds the arena. All tensors previously returned by this ctx are
 // invalidated. Safe on a nil receiver (no-op) so call sites can
 // unconditionally `defer ctx.Reset()`.
+//
+//mpgraph:noalloc
 func (c *Ctx) Reset() {
 	if c == nil {
 		return
@@ -94,6 +102,8 @@ func (c *Ctx) Reset() {
 }
 
 // zeros allocates an arena-backed rows x cols tensor (data zeroed).
+//
+//mpgraph:noalloc
 func (c *Ctx) zeros(rows, cols int) *Tensor {
 	t := &c.ts.take(1)[0]
 	t.Rows = rows
@@ -105,6 +115,8 @@ func (c *Ctx) zeros(rows, cols int) *Tensor {
 // uninit allocates an arena-backed rows x cols tensor without zeroing its
 // data. Only for ops that overwrite every element before returning —
 // anything else would leak values across Reset rounds.
+//
+//mpgraph:noalloc
 func (c *Ctx) uninit(rows, cols int) *Tensor {
 	t := &c.ts.take(1)[0]
 	t.Rows = rows
@@ -114,6 +126,8 @@ func (c *Ctx) uninit(rows, cols int) *Tensor {
 }
 
 // view allocates an arena-backed tensor header over existing data.
+//
+//mpgraph:noalloc
 func (c *Ctx) view(rows, cols int, data []float64) *Tensor {
 	t := &c.ts.take(1)[0]
 	t.Rows = rows
@@ -123,6 +137,8 @@ func (c *Ctx) view(rows, cols int, data []float64) *Tensor {
 }
 
 // Floats returns a zeroed arena-backed []float64 of length n.
+//
+//mpgraph:noalloc
 func (c *Ctx) Floats(n int) []float64 {
 	if c == nil {
 		return make([]float64, n)
@@ -131,6 +147,8 @@ func (c *Ctx) Floats(n int) []float64 {
 }
 
 // Ints returns a zeroed arena-backed []int of length n (token buffers).
+//
+//mpgraph:noalloc
 func (c *Ctx) Ints(n int) []int {
 	if c == nil {
 		return make([]int, n)
@@ -139,6 +157,8 @@ func (c *Ctx) Ints(n int) []int {
 }
 
 // Ptrs returns a zeroed arena-backed []*Tensor of length n.
+//
+//mpgraph:noalloc
 func (c *Ctx) Ptrs(n int) []*Tensor {
 	if c == nil {
 		return make([]*Tensor, n)

@@ -17,6 +17,8 @@ import (
 // input. Callers on the hot path treat op inputs as consumed.
 
 // Zeros returns a zero rows x cols tensor (arena-backed when c is non-nil).
+//
+//mpgraph:noalloc
 func (c *Ctx) Zeros(rows, cols int) *Tensor {
 	if c == nil {
 		return Zeros(rows, cols)
@@ -25,6 +27,8 @@ func (c *Ctx) Zeros(rows, cols int) *Tensor {
 }
 
 // MatMul returns a@b.
+//
+//mpgraph:noalloc
 func (c *Ctx) MatMul(a, b *Tensor) *Tensor {
 	if c == nil {
 		return MatMul(a, b)
@@ -38,6 +42,8 @@ func (c *Ctx) MatMul(a, b *Tensor) *Tensor {
 }
 
 // Add returns a+b elementwise.
+//
+//mpgraph:noalloc
 func (c *Ctx) Add(a, b *Tensor) *Tensor {
 	if c == nil {
 		return Add(a, b)
@@ -51,6 +57,8 @@ func (c *Ctx) Add(a, b *Tensor) *Tensor {
 }
 
 // AddBias adds row vector bias [1 x n] to every row of a.
+//
+//mpgraph:noalloc
 func (c *Ctx) AddBias(a, bias *Tensor) *Tensor {
 	if c == nil {
 		return AddBias(a, bias)
@@ -70,6 +78,8 @@ func (c *Ctx) AddBias(a, bias *Tensor) *Tensor {
 
 // SoftmaxRows applies row-wise softmax. The fast path runs in place and
 // returns its input; callers must not reuse the pre-softmax values.
+//
+//mpgraph:noalloc
 func (c *Ctx) SoftmaxRows(a *Tensor) *Tensor {
 	if c == nil {
 		return SoftmaxRows(a)
@@ -81,6 +91,8 @@ func (c *Ctx) SoftmaxRows(a *Tensor) *Tensor {
 }
 
 // softmaxInPlace applies a numerically-stable softmax to one row.
+//
+//mpgraph:noalloc
 func softmaxInPlace(row []float64) {
 	maxV := math.Inf(-1)
 	for _, v := range row {
@@ -101,6 +113,8 @@ func softmaxInPlace(row []float64) {
 
 // SigmoidInPlace applies the logistic function. The fast path runs in place
 // and returns its input; the nil path returns a fresh graph tensor.
+//
+//mpgraph:noalloc
 func (c *Ctx) SigmoidInPlace(a *Tensor) *Tensor {
 	if c == nil {
 		return Sigmoid(a)
@@ -111,6 +125,8 @@ func (c *Ctx) SigmoidInPlace(a *Tensor) *Tensor {
 
 // RowView returns row r of a as a 1 x Cols tensor. The fast path is a
 // zero-copy view sharing a's data.
+//
+//mpgraph:noalloc
 func (c *Ctx) RowView(a *Tensor, r int) *Tensor {
 	if c == nil {
 		return SliceRows(a, r, r+1)
@@ -122,6 +138,8 @@ func (c *Ctx) RowView(a *Tensor, r int) *Tensor {
 }
 
 // ConcatRows stacks tensors vertically (same Cols).
+//
+//mpgraph:noalloc
 func (c *Ctx) ConcatRows(ts ...*Tensor) *Tensor {
 	if c == nil {
 		return ConcatRows(ts...)
@@ -147,6 +165,8 @@ func (c *Ctx) ConcatRows(ts ...*Tensor) *Tensor {
 }
 
 // ConcatCols stacks tensors horizontally (same Rows).
+//
+//mpgraph:noalloc
 func (c *Ctx) ConcatCols(ts ...*Tensor) *Tensor {
 	if c == nil {
 		return ConcatCols(ts...)
@@ -176,6 +196,8 @@ func (c *Ctx) ConcatCols(ts ...*Tensor) *Tensor {
 // ConcatRows2 is ConcatRows for exactly two tensors — the arity the models'
 // hot paths use. A variadic call site builds an escaping []*Tensor on the
 // heap; the fixed-arity form keeps steady-state inference allocation-free.
+//
+//mpgraph:noalloc
 func (c *Ctx) ConcatRows2(a, b *Tensor) *Tensor {
 	if c == nil {
 		return ConcatRows(a, b)
@@ -190,6 +212,8 @@ func (c *Ctx) ConcatRows2(a, b *Tensor) *Tensor {
 }
 
 // ConcatCols2 is ConcatCols for exactly two tensors (see ConcatRows2).
+//
+//mpgraph:noalloc
 func (c *Ctx) ConcatCols2(a, b *Tensor) *Tensor {
 	if c == nil {
 		return ConcatCols(a, b)
@@ -207,6 +231,8 @@ func (c *Ctx) ConcatCols2(a, b *Tensor) *Tensor {
 }
 
 // MeanRows returns the column-wise mean as a 1 x Cols tensor.
+//
+//mpgraph:noalloc
 func (c *Ctx) MeanRows(a *Tensor) *Tensor {
 	if c == nil {
 		return MeanRows(a)
@@ -223,6 +249,8 @@ func (c *Ctx) MeanRows(a *Tensor) *Tensor {
 }
 
 // EmbeddingLookup gathers rows of table by ids.
+//
+//mpgraph:noalloc
 func (c *Ctx) EmbeddingLookup(table *Tensor, ids []int) *Tensor {
 	if c == nil {
 		return EmbeddingLookup(table, ids)
@@ -240,6 +268,8 @@ func (c *Ctx) EmbeddingLookup(table *Tensor, ids []int) *Tensor {
 }
 
 // LinearAct returns act(x@w + bias) as one fused kernel (bias may be nil).
+//
+//mpgraph:noalloc
 func (c *Ctx) LinearAct(x, w, bias *Tensor, act Act) *Tensor {
 	if c == nil {
 		out := MatMul(x, w)
@@ -265,6 +295,8 @@ func (c *Ctx) LinearAct(x, w, bias *Tensor, act Act) *Tensor {
 
 // Linear2Act returns act(x1@w1 + x2@w2 + bias) as one fused kernel — the
 // LSTM gate composition (input product plus recurrent product).
+//
+//mpgraph:noalloc
 func (c *Ctx) Linear2Act(x1, w1, x2, w2, bias *Tensor, act Act) *Tensor {
 	if c == nil {
 		out := Add(MatMul(x1, w1), MatMul(x2, w2))
@@ -289,6 +321,8 @@ func (c *Ctx) Linear2Act(x1, w1, x2, w2, bias *Tensor, act Act) *Tensor {
 
 // MatMulNTScale returns (a@b^T)·s — attention scores QKᵀ/√d without
 // materialising the transpose.
+//
+//mpgraph:noalloc
 func (c *Ctx) MatMulNTScale(a, b *Tensor, s float64) *Tensor {
 	if c == nil {
 		return Scale(MatMul(a, Transpose(b)), s)
@@ -303,6 +337,8 @@ func (c *Ctx) MatMulNTScale(a, b *Tensor, s float64) *Tensor {
 
 // LayerNorm normalises each row of x and applies gain and bias in a single
 // fused pass (the nn.LayerNorm composition).
+//
+//mpgraph:noalloc
 func (c *Ctx) LayerNorm(x, gain, bias *Tensor, eps float64) *Tensor {
 	if c == nil {
 		return AddBias(MulBias(NormalizeRows(x, eps), gain), bias)

@@ -13,6 +13,8 @@ const gemmParallelThreshold = 1 << 18
 // maddRow computes orow += av * brow, 4-way unrolled. The explicit slicing
 // lets the compiler drop per-element bounds checks; the unroll roughly
 // halves loop overhead on the madd-dominated inference kernels.
+//
+//mpgraph:noalloc
 func maddRow(orow, brow []float64, av float64) {
 	n := len(brow)
 	orow = orow[:n]
@@ -32,6 +34,8 @@ func maddRow(orow, brow []float64, av float64) {
 // loading and storing each orow element once for four accumulated rows
 // instead of four times — the madd kernels are store-bound, so this
 // register blocking is the main single-thread GEMM win.
+//
+//mpgraph:noalloc
 func maddRows4(orow, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
 	n := len(orow)
 	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
@@ -43,6 +47,8 @@ func maddRows4(orow, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
 // maddPanel computes orow += arow @ b for one output row, blocking the
 // shared dimension four rows of b at a time (remainder via maddRow). The
 // all-zero block skip keeps one-hot and ReLU-sparse inputs cheap.
+//
+//mpgraph:noalloc
 func maddPanel(orow, arow, b []float64, n int) {
 	k := len(arow)
 	p := 0
@@ -65,6 +71,8 @@ func maddPanel(orow, arow, b []float64, n int) {
 
 // dotRows returns the dot product of two equal-length rows, 4-way unrolled
 // with independent partial sums so the FMAs pipeline.
+//
+//mpgraph:noalloc
 func dotRows(a, b []float64) float64 {
 	n := len(a)
 	b = b[:n]
@@ -89,14 +97,17 @@ func dotRows(a, b []float64) float64 {
 // The serial case calls gemmRows directly: building the parallelRows
 // closure heap-allocates (it escapes into goroutines), which would break
 // the zero-allocation inference path.
+//
+//mpgraph:noalloc
 func gemm(out, a, b []float64, m, k, n int) {
 	if !shouldParallel(m, m*k*n) {
 		gemmRows(out, a, b, k, n, 0, m)
 		return
 	}
-	parallelRows(func(r0, r1 int) { gemmRows(out, a, b, k, n, r0, r1) }, m, m*k*n)
+	parallelRows(func(r0, r1 int) { gemmRows(out, a, b, k, n, r0, r1) }, m, m*k*n) //mpgraph:allow noalloc -- training-size fan-out; inference stays below the threshold
 }
 
+//mpgraph:noalloc
 func gemmRows(out, a, b []float64, k, n, r0, r1 int) {
 	for i := r0; i < r1; i++ {
 		maddPanel(out[i*n:(i+1)*n], a[i*k:(i+1)*k], b, n)
@@ -105,6 +116,8 @@ func gemmRows(out, a, b []float64, k, n, r0, r1 int) {
 
 // dotRows4 returns arow's dot product with four b rows in one pass, so
 // arow is streamed once per four output columns instead of once each.
+//
+//mpgraph:noalloc
 func dotRows4(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
 	n := len(a)
 	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
@@ -122,6 +135,8 @@ func dotRows4(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
 // output columns, blocked four columns at a time. acc selects accumulate
 // (the gemm += contract) versus overwrite (fused kernels on uninitialised
 // arena buffers).
+//
+//mpgraph:noalloc
 func dotPanel(orow, arow, b []float64, k, n int, s float64, acc bool) {
 	j := 0
 	for ; j+4 <= n; j += 4 {
@@ -227,6 +242,8 @@ const (
 )
 
 // applyAct applies act to row in place.
+//
+//mpgraph:noalloc
 func applyAct(row []float64, act Act) {
 	switch act {
 	case ActReLU:
@@ -248,6 +265,8 @@ func applyAct(row []float64, act Act) {
 
 // gemmBiasAct computes out = act(a@b + bias) with a [m x k], b [k x n] and
 // bias [n] (nil for no bias), overwriting out.
+//
+//mpgraph:noalloc
 func gemmBiasAct(out, a, b, bias []float64, m, k, n int, act Act) {
 	for i := 0; i < m; i++ {
 		orow := out[i*n : (i+1)*n]
@@ -265,6 +284,8 @@ func gemmBiasAct(out, a, b, bias []float64, m, k, n int, act Act) {
 // gemm2BiasAct computes out = act(a1@b1 + a2@b2 + bias) — the LSTM gate
 // shape (input and recurrent product sharing one epilogue). a1 [m x k1],
 // b1 [k1 x n], a2 [m x k2], b2 [k2 x n], bias [n] (nil for none).
+//
+//mpgraph:noalloc
 func gemm2BiasAct(out, a1, b1, a2, b2, bias []float64, m, k1, k2, n int, act Act) {
 	for i := 0; i < m; i++ {
 		orow := out[i*n : (i+1)*n]
@@ -282,6 +303,8 @@ func gemm2BiasAct(out, a1, b1, a2, b2, bias []float64, m, k1, k2, n int, act Act
 
 // gemmNTScale computes out = (a@b^T)·s with a [m x k], b [n x k] — the
 // attention-score shape QKᵀ/√d without materialising the transpose.
+//
+//mpgraph:noalloc
 func gemmNTScale(out, a, b []float64, m, k, n int, s float64) {
 	for i := 0; i < m; i++ {
 		dotPanel(out[i*n:(i+1)*n], a[i*k:(i+1)*k], b, k, n, s, false)
@@ -291,6 +314,8 @@ func gemmNTScale(out, a, b []float64, m, k, n int, s float64) {
 // shouldParallel reports whether parallelRows would actually fan out —
 // callers with an allocation-free serial variant check it first so the
 // escaping body closure is only built when goroutines will run it.
+//
+//mpgraph:noalloc
 func shouldParallel(rows, flops int) bool {
 	workers := runtime.GOMAXPROCS(0)
 	return flops >= gemmParallelThreshold && workers > 1 && rows >= 2*workers

@@ -522,6 +522,7 @@ func MSE(a *Tensor, targets []float64) *Tensor {
 	return out
 }
 
+//mpgraph:noalloc
 func checkSameShape(op string, a, b *Tensor) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		invariant.Failf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols)
