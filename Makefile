@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-fix-check test race bench faultinject ci
+.PHONY: all build vet lint vet-fix-check test race bench bench-compare faultinject ci
 
 all: build lint test
 
@@ -43,17 +43,34 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# bench is the benchmark smoke: one iteration of every inference and sweep
-# benchmark, converted to BENCH_small.json by cmd/mpgraph-bench (fast-path
-# speedups appear in its "speedups" section). Two steps through a file so a
-# benchmark failure fails the target. For stable published numbers rerun
-# with a higher -benchtime and -count (see DESIGN.md §8).
+# bench regenerates BENCH_small.json via cmd/mpgraph-bench (fast-path and
+# int8 speedups appear in its "speedups" section). The µs-scale Operate
+# benchmarks run 300 iterations so their ns/op is stable enough for the
+# bench-compare gate's 15% threshold; the seconds-scale sweep benchmarks run
+# once. Steps go through a file so a benchmark failure fails the target. For
+# published numbers rerun with a higher -benchtime and -count (DESIGN.md §8).
 bench:
-	$(GO) test ./internal/prefetch/ ./internal/core/ ./internal/experiments/ \
-		-run xxx -bench 'BenchmarkOperate|BenchmarkPrefetchSweep' -benchtime 1x \
+	$(GO) test ./internal/prefetch/ ./internal/core/ \
+		-run xxx -bench 'BenchmarkOperate' -benchtime 300x \
 		> bench.out
+	$(GO) test ./internal/experiments/ \
+		-run xxx -bench 'BenchmarkPrefetchSweep' -benchtime 1x \
+		>> bench.out
 	$(GO) run ./cmd/mpgraph-bench -in bench.out -o BENCH_small.json
 	rm -f bench.out
+
+# bench-compare is the perf-regression gate: rerun the Operate benchmarks
+# and fail if any fast-path benchmark is >15% slower in ns/op — or gains a
+# single allocation — against the committed BENCH_small.json. On a machine
+# that differs from the one the baseline was measured on, the ns/op check is
+# skipped (with a warning) and only allocation gains fail.
+bench-compare:
+	$(GO) test ./internal/prefetch/ ./internal/core/ \
+		-run xxx -bench 'BenchmarkOperate' -benchtime 300x \
+		> bench-new.out
+	$(GO) run ./cmd/mpgraph-bench -in bench-new.out -o BENCH_new.json
+	$(GO) run ./cmd/mpgraph-bench -compare BENCH_small.json BENCH_new.json
+	rm -f bench-new.out BENCH_new.json
 
 # faultinject is the robustness gate (DESIGN.md §9): the resilience package
 # suite plus the fault-armed pipeline tests — cell retry after injected

@@ -3,16 +3,33 @@
 // benchmark results and the fast-path speedup claims in DESIGN.md stay
 // reproducible from a committed artifact.
 //
-// Benchmarks whose name contains "Legacy" are paired with the benchmark
-// named by deleting that substring (BenchmarkOperateDeltaLSTMLegacy pairs
-// with BenchmarkOperateDeltaLSTM, BenchmarkPrefetchSweepLegacySerial with
-// BenchmarkPrefetchSweepSerial) and reported as a speedup ratio
-// legacy/fast in the "speedups" section.
+// Two variant-suffix conventions drive the "speedups" section. Benchmarks
+// whose name contains "Legacy" are paired with the benchmark named by
+// deleting that substring (BenchmarkOperateDeltaLSTMLegacy pairs with
+// BenchmarkOperateDeltaLSTM) and reported as legacy/fast. Benchmarks whose
+// name contains "Int8" are paired the same way (BenchmarkOperateMPGraphAMMAInt8
+// pairs with BenchmarkOperateMPGraphAMMA) and reported as float/int8 — in
+// both cases the ratio is baseline over variant, so >1 means the fast or
+// quantized path wins.
+//
+// The report header records the measurement environment (go version, OS,
+// architecture, GOMAXPROCS, CPU count) so consumers can tell when two
+// reports were taken on different machines.
+//
+// Compare mode turns the report into a CI perf gate:
+//
+//	mpgraph-bench -compare old.json new.json
+//
+// exits non-zero when any fast-path benchmark (name without "Legacy")
+// regresses more than 15% in ns/op or gains allocations. When the two
+// reports' environments differ, ns/op is not comparable and only the
+// allocation check is enforced (with a warning).
 //
 // Usage:
 //
 //	go test ./... -bench . -benchtime 1x -run xxx | mpgraph-bench -o BENCH_small.json
 //	mpgraph-bench -in bench.txt -o BENCH_small.json
+//	mpgraph-bench -compare BENCH_small.json BENCH_new.json
 package main
 
 import (
@@ -22,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -36,26 +54,69 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Speedup reports a Legacy/fast benchmark pair as a wall-time ratio.
+// Speedup reports a baseline/variant benchmark pair as a wall-time ratio:
+// legacy vs fast-path for "Legacy" names, float vs quantized for "Int8"
+// names. BaseNs is the baseline (legacy or float), FastNs the variant.
 type Speedup struct {
-	Name     string  `json:"name"`
-	FastNs   float64 `json:"fast_ns_per_op"`
-	LegacyNs float64 `json:"legacy_ns_per_op"`
-	Speedup  float64 `json:"speedup"`
+	Name    string  `json:"name"`
+	FastNs  float64 `json:"fast_ns_per_op"`
+	BaseNs  float64 `json:"base_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Env captures the machine and runtime configuration a report was measured
+// under. Two reports with different Envs have incomparable ns/op numbers.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+func currentEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 }
 
 // Report is the BENCH_small.json document.
 type Report struct {
+	Env        Env       `json:"env"`
 	Benchmarks []Result  `json:"benchmarks"`
 	Speedups   []Speedup `json:"speedups"`
 }
 
 func main() {
 	var (
-		in  = flag.String("in", "", "bench output file (default stdin)")
-		out = flag.String("o", "BENCH_small.json", "output JSON path")
+		in      = flag.String("in", "", "bench output file (default stdin)")
+		out     = flag.String("o", "BENCH_small.json", "output JSON path")
+		compare = flag.Bool("compare", false, "compare two report files (old new); exit non-zero on fast-path regressions")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two arguments: old.json new.json")
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if n := compareReports(os.Stderr, oldRep, newRep); n > 0 {
+			fatalf("%d benchmark regression(s) against %s", n, flag.Arg(0))
+		}
+		fmt.Fprintf(os.Stderr, "mpgraph-bench: no regressions against %s\n", flag.Arg(0))
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -75,7 +136,7 @@ func main() {
 		fatalf("no benchmark lines found in input")
 	}
 
-	report := Report{Benchmarks: results, Speedups: pairSpeedups(results)}
+	report := Report{Env: currentEnv(), Benchmarks: results, Speedups: pairSpeedups(results)}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatalf("encode report: %v", err)
@@ -86,6 +147,63 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mpgraph-bench: wrote %s (%d benchmarks, %d speedup pairs)\n",
 		*out, len(report.Benchmarks), len(report.Speedups))
+}
+
+// loadReport reads one JSON report written by a previous run.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// regressionThreshold is how much slower (ns/op) a fast-path benchmark may
+// get before the compare gate fails. Allocation gains have no threshold:
+// the fast path promises zero allocs, so any gain is a regression.
+const regressionThreshold = 1.15
+
+// compareReports checks every fast-path benchmark of old against new,
+// writing one line per finding, and returns the regression count. Legacy
+// baselines are exempt (they are the slow path by design). A benchmark
+// missing from new is reported but not failed — suites evolve — while an
+// environment mismatch downgrades the gate to allocation checks only,
+// because ns/op measured on different machines is noise.
+func compareReports(w io.Writer, old, new Report) int {
+	sameEnv := old.Env == new.Env
+	if !sameEnv {
+		fmt.Fprintf(w, "mpgraph-bench: environment mismatch (old %+v, new %+v); enforcing allocation checks only\n",
+			old.Env, new.Env)
+	}
+	index := map[string]Result{}
+	for _, r := range new.Benchmarks {
+		index[r.Pkg+" "+r.Name] = r
+	}
+	regressions := 0
+	for _, o := range old.Benchmarks {
+		if strings.Contains(o.Name, "Legacy") {
+			continue
+		}
+		n, ok := index[o.Pkg+" "+o.Name]
+		if !ok {
+			fmt.Fprintf(w, "mpgraph-bench: %s missing from new report (not failed)\n", o.Name)
+			continue
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			fmt.Fprintf(w, "mpgraph-bench: REGRESSION %s allocs/op %d -> %d\n", o.Name, o.AllocsPerOp, n.AllocsPerOp)
+			regressions++
+		}
+		if sameEnv && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*regressionThreshold {
+			fmt.Fprintf(w, "mpgraph-bench: REGRESSION %s ns/op %.0f -> %.0f (+%.1f%%)\n",
+				o.Name, o.NsPerOp, n.NsPerOp, 100*(n.NsPerOp/o.NsPerOp-1))
+			regressions++
+		}
+	}
+	return regressions
 }
 
 // parseBench extracts benchmark result lines, tracking the enclosing
@@ -158,8 +276,11 @@ func parseBenchLine(pkg, line string) (Result, bool) {
 	return res, true
 }
 
-// pairSpeedups matches each Legacy benchmark with its fast counterpart.
-// Repeated -count runs are averaged per name before pairing.
+// pairSpeedups matches each variant-suffixed benchmark with its counterpart.
+// "Legacy" names are the baseline and pair with the name minus the substring
+// (the fast side); "Int8" names are the variant and pair with the name minus
+// the substring (the float baseline). Repeated -count runs are averaged per
+// name before pairing.
 func pairSpeedups(results []Result) []Speedup {
 	type agg struct {
 		sum float64
@@ -177,26 +298,42 @@ func pairSpeedups(results []Result) []Speedup {
 		a.sum += r.NsPerOp
 		a.n++
 	}
+	avg := func(a *agg) float64 { return a.sum / float64(a.n) }
 	var out []Speedup
 	for _, name := range order {
-		if !strings.Contains(name, "Legacy") {
+		var baseNs, fastNs float64
+		var pairName string
+		switch {
+		case strings.Contains(name, "Legacy"):
+			// The suffixed benchmark is the slow baseline.
+			fastName := strings.Replace(name, "Legacy", "", 1)
+			fast, ok := mean[fastName]
+			if !ok {
+				continue
+			}
+			baseNs, fastNs = avg(mean[name]), avg(fast)
+			pairName = fastName
+		case strings.Contains(name, "Int8"):
+			// The suffixed benchmark is the quantized variant; the
+			// unsuffixed one is the float baseline.
+			baseName := strings.Replace(name, "Int8", "", 1)
+			base, ok := mean[baseName]
+			if !ok {
+				continue
+			}
+			baseNs, fastNs = avg(base), avg(mean[name])
+			pairName = name
+		default:
 			continue
 		}
-		fastName := strings.Replace(name, "Legacy", "", 1)
-		fast, ok := mean[fastName]
-		if !ok {
-			continue
-		}
-		legacyNs := mean[name].sum / float64(mean[name].n)
-		fastNs := fast.sum / float64(fast.n)
 		if fastNs <= 0 {
 			continue
 		}
 		out = append(out, Speedup{
-			Name:     strings.TrimPrefix(fastName, "Benchmark"),
-			FastNs:   fastNs,
-			LegacyNs: legacyNs,
-			Speedup:  legacyNs / fastNs,
+			Name:    strings.TrimPrefix(pairName, "Benchmark"),
+			FastNs:  fastNs,
+			BaseNs:  baseNs,
+			Speedup: baseNs / fastNs,
 		})
 	}
 	return out

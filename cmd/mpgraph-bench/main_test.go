@@ -88,3 +88,108 @@ func TestParseBenchRejectsMalformed(t *testing.T) {
 		t.Fatal("malformed benchmark line must error")
 	}
 }
+
+func TestPairSpeedupsInt8(t *testing.T) {
+	const int8Bench = `
+pkg: mpgraph/internal/core
+BenchmarkOperateMPGraphAMMA-8 	    5000	    215700 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOperateMPGraphAMMAInt8-8 	    9000	    119200 ns/op	       0 B/op	       0 allocs/op
+ok  	mpgraph/internal/core	2.001s
+`
+	results, err := parseBench(strings.NewReader(int8Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := pairSpeedups(results)
+	if len(sp) != 1 {
+		t.Fatalf("got %d speedup pairs, want 1", len(sp))
+	}
+	p := sp[0]
+	if p.Name != "OperateMPGraphAMMAInt8" {
+		t.Fatalf("pair name = %q", p.Name)
+	}
+	// The int8 variant is the fast side; the float run is the baseline.
+	if p.FastNs != 119200 || p.BaseNs != 215700 {
+		t.Fatalf("fast/base ns = %g/%g", p.FastNs, p.BaseNs)
+	}
+	if math.Abs(p.Speedup-215700.0/119200.0) > 1e-9 {
+		t.Fatalf("speedup = %g", p.Speedup)
+	}
+}
+
+func compareFixture() (Report, Report) {
+	env := Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8}
+	old := Report{Env: env, Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkOperateFast", NsPerOp: 1000, AllocsPerOp: 0},
+		{Pkg: "p", Name: "BenchmarkOperateFastLegacy", NsPerOp: 5000, AllocsPerOp: 99},
+	}}
+	new := Report{Env: env, Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkOperateFast", NsPerOp: 1000, AllocsPerOp: 0},
+		{Pkg: "p", Name: "BenchmarkOperateFastLegacy", NsPerOp: 50000, AllocsPerOp: 999},
+	}}
+	return old, new
+}
+
+func TestCompareReportsClean(t *testing.T) {
+	old, new := compareFixture()
+	var sb strings.Builder
+	// A Legacy benchmark may regress arbitrarily without tripping the gate.
+	if n := compareReports(&sb, old, new); n != 0 {
+		t.Fatalf("clean compare reported %d regressions:\n%s", n, sb.String())
+	}
+}
+
+func TestCompareReportsNsRegression(t *testing.T) {
+	old, new := compareFixture()
+	new.Benchmarks[0].NsPerOp = 1151 // just over the 15% threshold
+	var sb strings.Builder
+	if n := compareReports(&sb, old, new); n != 1 {
+		t.Fatalf("ns regression count = %d, want 1:\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION BenchmarkOperateFast ns/op") {
+		t.Fatalf("missing ns regression line:\n%s", sb.String())
+	}
+	new.Benchmarks[0].NsPerOp = 1150 // exactly at the threshold: allowed
+	sb.Reset()
+	if n := compareReports(&sb, old, new); n != 0 {
+		t.Fatalf("at-threshold compare reported %d regressions:\n%s", n, sb.String())
+	}
+}
+
+func TestCompareReportsAllocRegression(t *testing.T) {
+	old, new := compareFixture()
+	new.Benchmarks[0].AllocsPerOp = 1
+	var sb strings.Builder
+	if n := compareReports(&sb, old, new); n != 1 {
+		t.Fatalf("alloc regression count = %d, want 1:\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "allocs/op 0 -> 1") {
+		t.Fatalf("missing alloc regression line:\n%s", sb.String())
+	}
+}
+
+func TestCompareReportsEnvMismatch(t *testing.T) {
+	old, new := compareFixture()
+	new.Env.GOMAXPROCS = 4
+	new.Benchmarks[0].NsPerOp = 99999 // huge ns swing: ignored cross-env
+	new.Benchmarks[0].AllocsPerOp = 2 // alloc gains still enforced
+	var sb strings.Builder
+	if n := compareReports(&sb, old, new); n != 1 {
+		t.Fatalf("cross-env regression count = %d, want 1 (allocs only):\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "environment mismatch") {
+		t.Fatalf("missing env-mismatch warning:\n%s", sb.String())
+	}
+}
+
+func TestCompareReportsMissingBenchmark(t *testing.T) {
+	old, new := compareFixture()
+	new.Benchmarks = new.Benchmarks[1:] // drop the fast-path benchmark
+	var sb strings.Builder
+	if n := compareReports(&sb, old, new); n != 0 {
+		t.Fatalf("missing benchmark must warn, not fail: %d regressions\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "missing from new report") {
+		t.Fatalf("missing-benchmark warning absent:\n%s", sb.String())
+	}
+}

@@ -60,6 +60,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "experiment seed")
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		slowInfer  = flag.Bool("disable-fast-path", false, "use the legacy allocating inference path (serial; perf baseline)")
+		int8Infer  = flag.Bool("int8", false, "run MPGraph inference on the int8 quantized engine (per-channel weights, calibrated activations)")
 		out        = flag.String("out", "", "output file (default stdout)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for atomic checksummed trace/model checkpoints (empty = disabled)")
 		resume     = flag.Bool("resume", false, "load matching checkpoints from -checkpoint-dir before recomputing")
@@ -87,6 +88,10 @@ func main() {
 	opt.Seed = *seed
 	opt.Workers = *workers
 	opt.DisableFastPath = *slowInfer
+	opt.Int8 = *int8Infer
+	if *int8Infer && *slowInfer {
+		fatalf("-int8 requires the fast path; drop -disable-fast-path")
+	}
 	opt.CheckpointDir = *ckptDir
 	opt.Resume = *resume
 	inj, err := resilience.ParseInjector(*inject, *seed)

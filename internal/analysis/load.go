@@ -170,11 +170,22 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range ents {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && buildableName(name) {
 			return true
 		}
 	}
 	return false
+}
+
+// buildableName reports whether name is a non-test Go source file that the
+// host platform builds, by the filename rules alone (//go:build lines are
+// checked after parsing, in load).
+func buildableName(name string) bool {
+	if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		matchFileName(name)
 }
 
 // load parses and type-checks one module package (non-test files only),
@@ -200,12 +211,15 @@ func (l *Loader) load(path string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !buildableName(name) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parsing %s: %s", path, positionedErrors(err))
+		}
+		if !satisfiesGoBuild(f) {
+			continue
 		}
 		files = append(files, f)
 	}

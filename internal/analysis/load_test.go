@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -52,6 +53,55 @@ func g() string { return 42 }
 	}
 	if !strings.Contains(msg, "bad.go:5") {
 		t.Errorf("error lacks second position (only first error reported): %q", msg)
+	}
+}
+
+// TestLoadHonorsBuildConstraints: a platform pair — one file with a
+// GOOS/GOARCH-independent //go:build constraint excluding the host, one
+// with the host's filename suffix — must load as a single declaration of
+// each symbol, the way `go build` sees it, instead of failing to
+// type-check as a redeclaration.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/tags\n\ngo 1.22\n",
+		"p/fast_" + runtime.GOARCH + ".go": `package p
+
+func impl() int { return 1 }
+`,
+		"p/portable.go": "//go:build !" + runtime.GOARCH + `
+
+package p
+
+func impl() int { return 0 }
+`,
+		"p/other.go": `package p
+
+var V = impl()
+`,
+		// A foreign-platform suffix and a never-true //go:build line are
+		// both invisible (each would redeclare impl otherwise).
+		"p/fast_mips64.go": `package p
+
+func impl() int { return 2 }
+`,
+		"p/disabled.go": `//go:build ignore
+
+package p
+
+func impl() int { return 3 }
+`,
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./p"})
+	if err != nil {
+		t.Fatalf("platform pair must load cleanly: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 2 {
+		t.Fatalf("want 1 package with 2 buildable files, got %d packages, %d files",
+			len(pkgs), len(pkgs[0].Files))
 	}
 }
 

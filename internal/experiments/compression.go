@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"mpgraph/internal/core"
 	"mpgraph/internal/models"
@@ -10,6 +11,7 @@ import (
 	"mpgraph/internal/phasedet"
 	"mpgraph/internal/prefetch"
 	"mpgraph/internal/sim"
+	"mpgraph/internal/trace"
 )
 
 // compressedSuite holds one compression level's trained student models.
@@ -103,6 +105,53 @@ func (cs *compressedSuite) prefetcher(r *Runner, historyT int, latency uint64) (
 	return core.New(opt, historyT, det, cs.deltas, cs.pages)
 }
 
+// int8Suite returns an int8-quantized copy of the compressed suite: the
+// per-phase students weight-quantized per channel and calibrated on the
+// training samples. Prediction-quality columns are not re-evaluated (the
+// float eval path would just repeat the float numbers; layer parity is
+// covered by the models package tests) — the int8 rows exist to measure
+// speed and end-to-end IPC on the integer kernels.
+func (cs *compressedSuite) int8Suite(calib []*models.Sample) (*compressedSuite, error) {
+	qd, err := models.QuantizeDelta(&models.PhaseSpecificDelta{Models: cs.deltas}, calib)
+	if err != nil {
+		return nil, err
+	}
+	qp, err := models.QuantizePage(&models.PhaseSpecificPage{Models: cs.pages}, calib)
+	if err != nil {
+		return nil, err
+	}
+	out := *cs
+	out.deltas = qd.(*models.PhaseSpecificDelta).Models
+	out.pages = qp.(*models.PhaseSpecificPage).Models
+	return &out, nil
+}
+
+// measureOperateNs times steady-state Operate calls over the head of the
+// test trace and returns the mean wall-clock ns per call. The reading is
+// deliberately wall-clocked and flows into the Fig. 13 table: inference
+// speed IS the measurement here, so this one figure sits outside the
+// byte-identity replay oracle (every other column stays deterministic).
+//
+//mpgraph:allow-walltime
+func measureOperateNs(pf sim.Prefetcher, accs []trace.Access) float64 {
+	const warmup, measured = 256, 2048
+	if len(accs) == 0 {
+		return 0
+	}
+	at := func(i int) sim.LLCAccess {
+		a := accs[i%len(accs)]
+		return sim.LLCAccess{Block: trace.Block(a.Addr), PC: a.PC, Core: a.Core, Phase: a.Phase}
+	}
+	for i := 0; i < warmup; i++ {
+		pf.Operate(at(i))
+	}
+	start := time.Now()
+	for i := 0; i < measured; i++ {
+		pf.Operate(at(warmup + i))
+	}
+	return float64(time.Since(start).Nanoseconds()) / measured
+}
+
 // FigureDistillation regenerates Fig. 13: prediction quality and IPC
 // improvement of MPGraph under increasing compression, with and without
 // knowledge distillation, against the uncompressed teacher and BO.
@@ -112,10 +161,15 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 	if err != nil {
 		return err
 	}
+	d, err := r.Data(wl)
+	if err != nil {
+		return err
+	}
 	section(w, fmt.Sprintf("Figure 13: Knowledge distillation under compression (workload %s)", wl))
-	t := &Table{Header: []string{"Models", "Ratio", "Params(K)", "8bitKB", "DeltaF1", "PageAcc@10", "IPCImpv"}}
+	t := &Table{Header: []string{"Models", "Ratio", "Params(K)", "8bitKB", "DeltaF1", "PageAcc@10", "IPCImpv", "ns/op"}}
 
-	// Teacher reference row.
+	// Teacher reference row. Under Options.Int8 this is already the int8
+	// teacher — MPGraph quantizes behind the flag.
 	teacherPF, err := r.MPGraph(wl, core.DefaultOptions())
 	if err != nil {
 		return err
@@ -125,10 +179,14 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 		return err
 	}
 	teacherParams := nn.CountParams(s.PSDelta) + nn.CountParams(s.PSPage)
-	t.Add("teacher (AMMA-PS)", "1.0x", fmt.Sprintf("%.1f", float64(teacherParams)/1000), "-",
+	teacherLabel := "teacher (AMMA-PS)"
+	if r.Opt.Int8 {
+		teacherLabel += " int8"
+	}
+	t.Add(teacherLabel, "1.0x", fmt.Sprintf("%.1f", float64(teacherParams)/1000), "-",
 		f4(models.EvalDeltaF1(s.PSDelta, s.Test.Samples, r.Opt.EvalSamples)),
 		f4(models.EvalPageAccAtK(s.PSPage, s.Test.Samples, 10, r.Opt.EvalSamples)),
-		pct(m.IPCImprovement(base)))
+		pct(m.IPCImprovement(base)), d1(measureOperateNs(teacherPF, d.TestRaw)))
 
 	// BO reference row.
 	bo := prefetch.NewBO(prefetch.DefaultBOConfig())
@@ -136,7 +194,8 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 	if err != nil {
 		return err
 	}
-	t.Add("BO (rule-based)", "-", "-", "-", "-", "-", pct(mbo.IPCImprovement(base)))
+	t.Add("BO (rule-based)", "-", "-", "-", "-", "-",
+		pct(mbo.IPCImprovement(base)), d1(measureOperateNs(bo, d.TestRaw)))
 
 	for _, divisor := range []int{2, 4} {
 		for _, distill := range []bool{false, true} {
@@ -144,26 +203,47 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 			if err != nil {
 				return err
 			}
-			pf, err := cs.prefetcher(r, s.Cfg.HistoryT, 0)
-			if err != nil {
-				return err
+			suites := []*compressedSuite{cs}
+			if r.Opt.Int8 {
+				qcs, err := cs.int8Suite(s.Train.Samples)
+				if err != nil {
+					return err
+				}
+				suites = append(suites, qcs)
 			}
-			m, base, err := r.Simulate(wl, pf)
-			if err != nil {
-				return err
+			for i, suite := range suites {
+				pf, err := suite.prefetcher(r, s.Cfg.HistoryT, 0)
+				if err != nil {
+					return err
+				}
+				m, base, err := r.Simulate(wl, pf)
+				if err != nil {
+					return err
+				}
+				label := fmt.Sprintf("student /%d", divisor)
+				if distill {
+					label += " +KD"
+				}
+				deltaF1, pageAcc := f4(suite.deltaF1), f4(suite.pageAcc)
+				if i > 0 {
+					// Quantized rows measure speed, not re-derived quality
+					// (see int8Suite).
+					label += " int8"
+					deltaF1, pageAcc = "-", "-"
+				}
+				t.Add(label, suite.name, fmt.Sprintf("%.1f", float64(suite.params)/1000),
+					fmt.Sprintf("%.1f", float64(suite.quantBytes)/1024),
+					deltaF1, pageAcc, pct(m.IPCImprovement(base)),
+					d1(measureOperateNs(pf, d.TestRaw)))
 			}
-			label := fmt.Sprintf("student /%d", divisor)
-			if distill {
-				label += " +KD"
-			}
-			t.Add(label, cs.name, fmt.Sprintf("%.1f", float64(cs.params)/1000),
-				fmt.Sprintf("%.1f", float64(cs.quantBytes)/1024),
-				f4(cs.deltaF1), f4(cs.pageAcc), pct(m.IPCImprovement(base)))
 		}
 	}
 	t.Print(w)
 	return nil
 }
+
+// d1 formats a measured nanosecond figure with one decimal.
+func d1(v float64) string { return fmt.Sprintf("%.1f", v) }
 
 // FigureDistancePrefetch regenerates Fig. 14: the effect of model inference
 // latency with and without distance prefetching (models trained with

@@ -67,6 +67,13 @@ type Options struct {
 	// ML prefetchers in the comparison sweep (ablations and benchmarks that
 	// need the bare prefetcher).
 	DisableGuard bool
+	// Int8 runs the MPGraph prefetcher's inference on the int8 quantized
+	// engine: per-phase models are weight-quantized once per workload
+	// (per-channel symmetric int8), activation scales are calibrated on the
+	// training samples, and Operate dispatches the integer kernels. Ignored
+	// when DisableFastPath is set — the int8 kernels live on the arena fast
+	// path, so the legacy autograd path always scores in float.
+	Int8 bool
 }
 
 // DefaultOptions returns the small-scale configuration.

@@ -29,6 +29,7 @@ type Runner struct {
 	graphs map[string]*graph.Graph
 	data   map[Workload]*cell[*WorkloadData]
 	suites map[Workload]*cell[*Suite]
+	qpairs map[Workload]*cell[*qpair]
 
 	storeOnce sync.Once
 	store     *resilience.Store
@@ -46,6 +47,7 @@ func NewRunner(opt Options) *Runner {
 		graphs: map[string]*graph.Graph{},
 		data:   map[Workload]*cell[*WorkloadData]{},
 		suites: map[Workload]*cell[*Suite]{},
+		qpairs: map[Workload]*cell[*qpair]{},
 	}
 }
 
@@ -388,8 +390,38 @@ func (r *Runner) Prefetchers(w Workload) ([]sim.Prefetcher, error) {
 	}, nil
 }
 
+// qpair is one workload's int8-quantized phase-specific model pair.
+type qpair struct {
+	delta *models.PhaseSpecificDelta
+	page  *models.PhaseSpecificPage
+}
+
+// quantizedPS returns (quantizing once, coalescing concurrent callers) the
+// int8 mirrors of w's phase-specific delta/page models, calibrated on the
+// training samples. Quantization reads trained float weights and runs
+// calibration forwards, so like Suite it is single-flight per workload —
+// the parallel sweep shares one quantized pair across all its simulations.
+func (r *Runner) quantizedPS(w Workload) (*qpair, error) {
+	c := getCell(&r.mu, r.qpairs, w)
+	return c.get("experiments.QuantizedPS("+w.String()+")", func() (*qpair, error) {
+		s, err := r.Suite(w)
+		if err != nil {
+			return nil, err
+		}
+		qd, qp, err := models.QuantizeSuite(s.PSDelta, s.PSPage, s.Train.Samples)
+		if err != nil {
+			return nil, err
+		}
+		return &qpair{
+			delta: qd.(*models.PhaseSpecificDelta),
+			page:  qp.(*models.PhaseSpecificPage),
+		}, nil
+	})
+}
+
 // MPGraph assembles the full prefetcher for w with the given controller
-// options: per-phase AMMA predictors plus a Soft-KSWIN detector.
+// options: per-phase AMMA predictors plus a Soft-KSWIN detector. Under
+// Options.Int8 the per-phase models are the calibrated int8 mirrors.
 func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
 	s, err := r.Suite(w)
 	if err != nil {
@@ -398,10 +430,18 @@ func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
 	if r.Opt.DisableFastPath {
 		opt.DisableFastPath = true
 	}
-	deltas := make([]models.DeltaModel, len(s.PSDelta.Models))
-	copy(deltas, s.PSDelta.Models)
-	pages := make([]models.PageModel, len(s.PSPage.Models))
-	copy(pages, s.PSPage.Models)
+	psDelta, psPage := s.PSDelta, s.PSPage
+	if r.Opt.Int8 && !r.Opt.DisableFastPath {
+		qp, err := r.quantizedPS(w)
+		if err != nil {
+			return nil, err
+		}
+		psDelta, psPage = qp.delta, qp.page
+	}
+	deltas := make([]models.DeltaModel, len(psDelta.Models))
+	copy(deltas, psDelta.Models)
+	pages := make([]models.PageModel, len(psPage.Models))
+	copy(pages, psPage.Models)
 	det := phasedet.NewSoftKSWIN(phasedet.KSWINConfig{Seed: r.Opt.Seed})
 	return core.New(opt, s.Cfg.HistoryT, det, deltas, pages)
 }

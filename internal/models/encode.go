@@ -162,6 +162,8 @@ func BinaryCode(id, bits int) ([]float64, error) {
 }
 
 // DecodeBinary inverts BinaryCode by thresholding each bit at 0.5.
+//
+//mpgraph:noalloc
 func DecodeBinary(bits []float64) int {
 	id := 0
 	for b, v := range bits {

@@ -1,6 +1,8 @@
 package models
 
 import (
+	"math"
+
 	"mpgraph/internal/tensor"
 	"mpgraph/internal/trace"
 )
@@ -310,6 +312,83 @@ func (m *AttnPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint
 		return append(dst, m.TopPages(s, k)...)
 	}
 	return topPagesAppendCtx(c, m.pages, m.logitsCtx(c, s).Data, k, dst)
+}
+
+// --- binary-encoded compressed head ---
+
+// binaryTopPagesAppendCtx is the arena analogue of BinaryPage.TopPages'
+// candidate decode: rank bits by confidence distance from 0.5 (ascending,
+// the same swap-on-less pass as the float path so tie ordering is
+// identical), then try the maximum-likelihood code followed by single-bit
+// flips in uncertainty order, keeping up to k distinct known pages.
+//
+//mpgraph:noalloc
+func binaryTopPagesAppendCtx(c *tensor.Ctx, pages *Vocab, probs []float64, k int, dst []uint64) []uint64 {
+	base := DecodeBinary(probs)
+	order := c.Ints(len(probs))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if math.Abs(probs[order[j]]-0.5) < math.Abs(probs[order[i]]-0.5) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	// Candidate ci=0 is the base code; ci>0 flips bit order[ci-1]. The 4k
+	// cap and known-page dedupe match the float path; dedupe scans the
+	// region appended by this call instead of a map.
+	start := len(dst)
+	added := 0
+	for ci := 0; ci < 4*k && ci <= len(order); ci++ {
+		id := base
+		if ci > 0 {
+			id = base ^ (1 << order[ci-1])
+		}
+		page, ok := pages.Value(id)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, p := range dst[start:] {
+			if p == page {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		dst = append(dst, page)
+		added++
+		if added == k {
+			break
+		}
+	}
+	return dst
+}
+
+//mpgraph:noalloc
+func (m *BinaryPage) pageLogitsCtx(c *tensor.Ctx, s *Sample) *tensor.Tensor {
+	if c == nil {
+		return m.PageLogits(s)
+	}
+	encA := m.core.modA.encodeTokensCtx(c, pageTokensCtx(c, m.pages, s.Blocks))
+	encB := m.core.modB.encodeTokensCtx(c, pcTokensCtx(c, m.pcs, s.PCs))
+	return m.head.ForwardCtx(c, m.core.forwardCtx(c, encA, encB, s.Phase))
+}
+
+// TopPagesAppendCtx implements PageTopperCtx: the float fast path of the
+// binary-encoded compressed head (the int8 mirror is QBinaryPage).
+//
+//mpgraph:noalloc
+func (m *BinaryPage) TopPagesAppendCtx(c *tensor.Ctx, s *Sample, k int, dst []uint64) []uint64 {
+	if c == nil {
+		return append(dst, m.TopPages(s, k)...)
+	}
+	probs := c.SigmoidInPlace(m.pageLogitsCtx(c, s)).Data
+	return binaryTopPagesAppendCtx(c, m.pages, probs, k, dst)
 }
 
 // --- phase-specific wrappers (dispatch then recurse on the fast path) ---

@@ -77,6 +77,8 @@ func (s *slab[T]) reset() {
 type Ctx struct {
 	f64  slab[float64]
 	ints slab[int]
+	i8   slab[int8]
+	u8   slab[uint8]
 	ts   slab[Tensor]
 	ptrs slab[*Tensor]
 }
@@ -97,6 +99,8 @@ func (c *Ctx) Reset() {
 	}
 	c.f64.reset()
 	c.ints.reset()
+	c.i8.reset()
+	c.u8.reset()
 	c.ts.reset()
 	c.ptrs.reset()
 }
@@ -164,4 +168,27 @@ func (c *Ctx) Ptrs(n int) []*Tensor {
 		return make([]*Tensor, n)
 	}
 	return c.ptrs.take(n)
+}
+
+// Int8s returns an uninitialised arena-backed []int8 of length n (quantized
+// activation rows — every caller overwrites the full buffer before reading).
+//
+//mpgraph:noalloc
+func (c *Ctx) Int8s(n int) []int8 {
+	if c == nil {
+		return make([]int8, n)
+	}
+	return c.i8.takeUninit(n)
+}
+
+// Bytes returns an uninitialised arena-backed []uint8 of length n (offset
+// activation rows for the VNNI int8 kernel — callers overwrite before
+// reading).
+//
+//mpgraph:noalloc
+func (c *Ctx) Bytes(n int) []uint8 {
+	if c == nil {
+		return make([]uint8, n)
+	}
+	return c.u8.takeUninit(n)
 }

@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package tensor
+
+// useVNNI is always false off amd64: the VNNI kernel is AVX-512 assembly.
+// The portable SWAR path in qgemm.go serves every platform.
+var useVNNI = false
+
+// qmaddRowVNNI is unreachable off amd64 — qgemmBiasActFast only dispatches
+// here when the QTensor carries a VNNI layout, which packVNNI never builds
+// with useVNNI false.
+//
+//mpgraph:noalloc
+func qmaddRowVNNI(orow []float64, ua []byte, q *QTensor, sx float64, bias []float64) {
+	panic("tensor: VNNI kernel on non-amd64")
+}
+
+// quantizeRowFast always reports false off amd64: quantizeRowInto runs its
+// scalar loop.
+//
+//mpgraph:noalloc
+func quantizeRowFast(dst []int8, src []float64, inv float64) bool { return false }

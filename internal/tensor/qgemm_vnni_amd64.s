@@ -1,0 +1,160 @@
+#include "textflag.h"
+
+DATA qhalf<>+0(SB)/8, $0.5
+GLOBL qhalf<>(SB), RODATA, $8
+DATA qhi<>+0(SB)/8, $127.0
+GLOBL qhi<>(SB), RODATA, $8
+DATA qlo<>+0(SB)/8, $-127.0
+GLOBL qlo<>(SB), RODATA, $8
+
+// func vnniRowF64(orow *float64, w *byte, ua *byte, scales *float64, corr *int32, groups int64, nOut int64, sx float64)
+//
+// Computes one full output row of the quantized linear through the VNNI
+// weight interleave built by QTensor.packVNNI, fused with the dequantize
+// epilogue: orow[j] = (Σ_p ua[p]·w_j[p] − corr[j]) · sx · scales[j].
+//
+// Per 16-channel block, VPDPBUSD multiplies the broadcast unsigned offset
+// activations (ua = xq+128, zero-padded to 4·groups bytes) by the signed
+// weight bytes and accumulates the exact 4-product sums into 32-bit lanes —
+// no intermediate saturation, so the int32 dots are bit-identical to the
+// scalar reference kernel. Four independent accumulator chains hide the
+// VPDPBUSD latency. The epilogue subtracts the per-channel offset
+// correction, converts to float64, scales, and stores through per-lane
+// masks so a trailing partial block never touches memory past nOut.
+TEXT ·vnniRowF64(SB), NOSPLIT, $0-64
+	MOVQ orow+0(FP), DI
+	MOVQ w+8(FP), SI
+	MOVQ ua+16(FP), R12
+	MOVQ scales+24(FP), R8
+	MOVQ corr+32(FP), R9
+	MOVQ groups+40(FP), R10
+	MOVQ nOut+48(FP), R11
+	VBROADCASTSD sx+56(FP), Z8
+blockloop:
+	TESTQ R11, R11
+	JLE  rowdone
+	// lanes = min(nOut remaining, 16); K1 = 16-lane int32 mask,
+	// K2/K3 = low/high 8-lane float64 masks.
+	MOVQ R11, R13
+	CMPQ R13, $16
+	JLE  lanesok
+	MOVQ $16, R13
+lanesok:
+	MOVQ $1, AX
+	MOVQ R13, CX
+	SHLQ CX, AX
+	DECQ AX
+	KMOVW AX, K1
+	MOVQ AX, BX
+	ANDQ $0xFF, BX
+	KMOVW BX, K2
+	SHRQ $8, AX
+	KMOVW AX, K3
+	// int32 dot products for this block's 16 channels.
+	MOVQ R12, DX
+	MOVQ R10, CX
+	VPXORD Z0, Z0, Z0
+	VPXORD Z1, Z1, Z1
+	VPXORD Z2, Z2, Z2
+	VPXORD Z3, Z3, Z3
+loop4:
+	CMPQ CX, $4
+	JLT tail
+	VPBROADCASTD (DX), Z4
+	VPBROADCASTD 4(DX), Z5
+	VPBROADCASTD 8(DX), Z6
+	VPBROADCASTD 12(DX), Z7
+	VPDPBUSD (SI), Z4, Z0
+	VPDPBUSD 64(SI), Z5, Z1
+	VPDPBUSD 128(SI), Z6, Z2
+	VPDPBUSD 192(SI), Z7, Z3
+	ADDQ $16, DX
+	ADDQ $256, SI
+	SUBQ $4, CX
+	JMP  loop4
+tail:
+	TESTQ CX, CX
+	JLE  epilogue
+	VPBROADCASTD (DX), Z4
+	VPDPBUSD (SI), Z4, Z0
+	ADDQ $4, DX
+	ADDQ $64, SI
+	DECQ CX
+	JMP  tail
+epilogue:
+	VPADDD Z1, Z0, Z0
+	VPADDD Z3, Z2, Z2
+	VPADDD Z2, Z0, Z0
+	// dot − corr, then dequantize: float64(dot)·sx·scale per channel.
+	VMOVDQU32 (R9), Z4
+	VPSUBD Z4, Z0, Z0
+	VCVTDQ2PD Y0, Z5
+	VEXTRACTI64X4 $1, Z0, Y1
+	VCVTDQ2PD Y1, Z6
+	VMULPD Z8, Z5, Z5
+	VMULPD Z8, Z6, Z6
+	VMOVUPD.Z (R8), K2, Z7
+	VMULPD Z7, Z5, Z5
+	VMOVUPD.Z 64(R8), K3, Z7
+	VMULPD Z7, Z6, Z6
+	VMOVUPD Z5, K2, (DI)
+	VMOVUPD Z6, K3, 64(DI)
+	ADDQ $64, R9
+	ADDQ $128, R8
+	ADDQ $128, DI
+	SUBQ $16, R11
+	JMP  blockloop
+rowdone:
+	VZEROUPPER
+	RET
+
+// func quantizeRowAVX512(dst *int8, src *float64, n int64, inv float64)
+//
+// Vector mirror of quantizeValue: dst[i] = sat_±127(floor(src[i]·inv + 0.5))
+// eight float64 lanes at a time. The rounding sequence matches the scalar
+// kernel exactly — multiply, add 0.5, VRNDSCALEPD mode 1 (floor), clamp —
+// so integral results convert exactly and the output is bit-identical. The
+// tail runs the same sequence under a lane mask.
+TEXT ·quantizeRowAVX512(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD inv+24(FP), Z9
+	VBROADCASTSD qhalf<>(SB), Z10
+	VBROADCASTSD qhi<>(SB), Z11
+	VBROADCASTSD qlo<>(SB), Z12
+	MOVQ $0xFF, AX
+	KMOVW AX, K1
+qloop:
+	CMPQ CX, $8
+	JLT  qtail
+	VMOVUPD (SI), Z0
+	VMULPD Z9, Z0, Z0
+	VADDPD Z10, Z0, Z0
+	VRNDSCALEPD $1, Z0, Z0
+	VMINPD Z11, Z0, Z0
+	VMAXPD Z12, Z0, Z0
+	VCVTPD2DQ Z0, Y0
+	VPMOVDB Z0, K1, (DI)
+	ADDQ $64, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JMP  qloop
+qtail:
+	TESTQ CX, CX
+	JLE  qdone
+	MOVQ $1, AX
+	SHLQ CX, AX
+	DECQ AX
+	KMOVW AX, K1
+	VMOVUPD.Z (SI), K1, Z0
+	VMULPD Z9, Z0, Z0
+	VADDPD Z10, Z0, Z0
+	VRNDSCALEPD $1, Z0, Z0
+	VMINPD Z11, Z0, Z0
+	VMAXPD Z12, Z0, Z0
+	VCVTPD2DQ Z0, Y0
+	VPMOVDB Z0, K1, (DI)
+qdone:
+	VZEROUPPER
+	RET
