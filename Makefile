@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-fix-check test race bench bench-compare faultinject ci
+.PHONY: all build vet lint vet-self vet-fix-check test race bench bench-compare faultinject ci
 
 all: build lint test
 
@@ -11,11 +11,19 @@ build:
 	$(GO) build ./...
 
 # lint runs the full static-analysis gate: the standard `go vet` passes
-# (delegated by mpgraph-vet) plus the nine MPGraph analyzers — seededrand,
-# errdrop, floateq, panicpolicy, addrhelpers, goroutineguard, maporder,
-# walltime, noalloc. See DESIGN.md §7.
+# (delegated by mpgraph-vet) plus the thirteen MPGraph analyzers —
+# seededrand, errdrop, floateq, panicpolicy, addrhelpers, maporder,
+# walltime, noalloc, lockcheck, golifetime, chansafe, ctxflow, directive.
+# See DESIGN.md §7.
 lint:
 	$(GO) run ./cmd/mpgraph-vet ./...
+
+# vet-self turns the gate on its own implementation: the analysis framework,
+# the CFG and call-graph layers, and the passes must hold to the same
+# concurrency and determinism contracts they enforce. CI runs this step
+# with -json and uploads the output as an artifact.
+vet-self:
+	$(GO) run ./cmd/mpgraph-vet -novet ./internal/analysis/...
 
 # vet runs only the standard passes (lint is a superset).
 vet:

@@ -1,24 +1,32 @@
 // Command mpgraph-vet is the project's static-analysis gate: it chains the
-// standard `go vet` passes with the nine MPGraph-specific analyzers
-// (seededrand, errdrop, floateq, panicpolicy, addrhelpers, goroutineguard,
-// maporder, walltime, noalloc) and exits non-zero on any finding. It is part
-// of tier-1: CI runs it on every push (.github/workflows/ci.yml), and
-// `make lint` runs it locally.
+// standard `go vet` passes with the thirteen MPGraph-specific analyzers
+// (seededrand, errdrop, floateq, panicpolicy, addrhelpers, maporder,
+// walltime, noalloc, lockcheck, golifetime, chansafe, ctxflow, directive)
+// and exits non-zero on any finding. It is part of tier-1: CI runs it on
+// every push (.github/workflows/ci.yml), and `make lint` runs it locally.
 //
 // Usage:
 //
-//	go run ./cmd/mpgraph-vet [-novet] [-list] [-fix] [-out file] [patterns...]
+//	go run ./cmd/mpgraph-vet [-novet] [-list] [-fix] [-json] [-out file] [patterns...]
 //
 // Patterns default to ./... and accept the usual ./dir/... forms relative
 // to the module root. -novet skips the delegated `go vet` run (useful when
 // iterating on one analyzer); -list prints the analyzer roster and exits.
 //
 // -fix applies each finding's suggested rewrite (maporder's sorted-keys
-// loop, walltime's allow directive) in place, skipping fixes whose edits
-// would overlap, and prints what it changed; findings without a fix are
-// printed and still fail the run. One -fix pass converges: applying the
+// loop, walltime's allow directive, lockcheck's deferred unlock, ctxflow's
+// threaded context, directive's TODO reason) in place, skipping fixes whose
+// edits would overlap, and prints what it changed; findings without a fix
+// are printed and still fail the run. One -fix pass converges: applying the
 // fixes a second time changes nothing (`make vet-fix-check` enforces this
 // on a copy of the tree).
+//
+// -json prints each finding as one JSON object per line (package, file,
+// line, col, analyzer, message, fixable) instead of the human format —
+// machine-readable for editors and for the GitHub Actions problem matcher
+// in .github/mpgraph-vet-matcher.json. Findings are sorted by (package
+// path, file, byte offset, analyzer), so output is byte-deterministic in
+// both formats regardless of package load order.
 //
 // -out additionally writes the findings to a file — CI uploads it as the
 // mpgraph-vet diagnostics artifact so findings are inspectable without
@@ -26,8 +34,9 @@
 //
 // Findings are suppressed per line by a trailing
 // "//mpgraph:allow name[,name] -- reason" directive; the reason is
-// mandatory. See DESIGN.md's "Static analysis" section for the invariants
-// each analyzer encodes.
+// mandatory and the directive analyzer enforces it (along with the rest of
+// the //mpgraph: vocabulary). See DESIGN.md's "Static analysis" section
+// for the invariants each analyzer encodes.
 package main
 
 import (
@@ -40,9 +49,13 @@ import (
 
 	"mpgraph/internal/analysis"
 	"mpgraph/internal/analysis/passes/addrhelpers"
+	"mpgraph/internal/analysis/passes/chansafe"
+	"mpgraph/internal/analysis/passes/ctxflow"
+	"mpgraph/internal/analysis/passes/directive"
 	"mpgraph/internal/analysis/passes/errdrop"
 	"mpgraph/internal/analysis/passes/floateq"
-	"mpgraph/internal/analysis/passes/goroutineguard"
+	"mpgraph/internal/analysis/passes/golifetime"
+	"mpgraph/internal/analysis/passes/lockcheck"
 	"mpgraph/internal/analysis/passes/maporder"
 	"mpgraph/internal/analysis/passes/noalloc"
 	"mpgraph/internal/analysis/passes/panicpolicy"
@@ -52,9 +65,13 @@ import (
 
 var suite = []*analysis.Analyzer{
 	addrhelpers.Analyzer,
+	chansafe.Analyzer,
+	ctxflow.Analyzer,
+	directive.Analyzer,
 	errdrop.Analyzer,
 	floateq.Analyzer,
-	goroutineguard.Analyzer,
+	golifetime.Analyzer,
+	lockcheck.Analyzer,
 	maporder.Analyzer,
 	noalloc.Analyzer,
 	panicpolicy.Analyzer,
@@ -66,6 +83,7 @@ func main() {
 	novet := flag.Bool("novet", false, "skip the delegated `go vet` run")
 	list := flag.Bool("list", false, "print the analyzer roster and exit")
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	jsonOut := flag.Bool("json", false, "print one JSON object per finding instead of the human format")
 	out := flag.String("out", "", "also write findings to this file (CI artifact)")
 	flag.Parse()
 
@@ -124,7 +142,11 @@ func main() {
 		return
 	}
 
-	n, err := analysis.RunAnalyzers(pkgs, suite, sink)
+	run := analysis.RunAnalyzers
+	if *jsonOut {
+		run = analysis.RunAnalyzersJSON
+	}
+	n, err := run(pkgs, suite, sink)
 	if err != nil {
 		fatal(err)
 	}

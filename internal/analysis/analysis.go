@@ -2,7 +2,7 @@
 // golang.org/x/tools/go/analysis that mpgraph-vet needs, built on the
 // standard library only (go/ast, go/types, go/importer). The repository is
 // dependency-free by policy, so rather than vendoring x/tools the suite
-// mirrors its Analyzer/Pass/Diagnostic API closely enough that the six
+// mirrors its Analyzer/Pass/Diagnostic API closely enough that the thirteen
 // MPGraph analyzers could be ported to the real framework by changing
 // imports.
 //
@@ -27,13 +27,27 @@ import (
 	"sort"
 	"strings"
 
+	"mpgraph/internal/analysis/callgraph"
+	"mpgraph/internal/analysis/cfg"
 	"mpgraph/internal/analysis/dataflow"
 )
 
-// NeedDataflow in Analyzer.Requires asks the driver to populate
-// Pass.Dataflow with the package's dataflow summary (reaching definitions +
-// call graph; see internal/analysis/dataflow) before Run is called.
-const NeedDataflow = "dataflow"
+// Shared facts an analyzer can list in Analyzer.Requires. Facts are built
+// once per package by the driver (and the analysistest harness) and shared
+// across every analyzer that asks.
+const (
+	// NeedDataflow populates Pass.Dataflow with the package's dataflow
+	// summary (reaching definitions + per-call callee resolution; see
+	// internal/analysis/dataflow).
+	NeedDataflow = "dataflow"
+	// NeedCFG populates Pass.CFG with a memoised per-function control-flow
+	// graph cache (see internal/analysis/cfg).
+	NeedCFG = "cfg"
+	// NeedCallGraph populates Pass.CallGraph with the package-level call
+	// graph (see internal/analysis/callgraph). Implies NeedDataflow: the
+	// call graph is built over the dataflow summary.
+	NeedCallGraph = "callgraph"
+)
 
 // Analyzer describes one static check.
 type Analyzer struct {
@@ -43,8 +57,8 @@ type Analyzer struct {
 	// Doc is the one-paragraph description shown by mpgraph-vet -help.
 	Doc string
 	// Requires lists the shared facts this analyzer needs the driver to
-	// compute (currently only NeedDataflow). Facts are built once per
-	// package and shared across the analyzers that ask for them.
+	// compute (NeedDataflow, NeedCFG, NeedCallGraph). Facts are built once
+	// per package and shared across the analyzers that ask for them.
 	Requires []string
 	// Match optionally restricts which package paths the driver runs this
 	// analyzer on. nil means every package. analysistest ignores Match so
@@ -54,16 +68,23 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// NeedsDataflow reports whether the analyzer listed NeedDataflow in its
-// requirements.
-func (a *Analyzer) NeedsDataflow() bool {
+// Needs reports whether the analyzer listed the named fact in its
+// requirements. NeedCallGraph implies NeedDataflow.
+func (a *Analyzer) Needs(fact string) bool {
 	for _, r := range a.Requires {
-		if r == NeedDataflow {
+		if r == fact {
+			return true
+		}
+		if fact == NeedDataflow && r == NeedCallGraph {
 			return true
 		}
 	}
 	return false
 }
+
+// NeedsDataflow reports whether the analyzer needs the dataflow summary,
+// directly or through NeedCallGraph.
+func (a *Analyzer) NeedsDataflow() bool { return a.Needs(NeedDataflow) }
 
 // Pass carries one package's parsed and type-checked representation to an
 // analyzer's Run function.
@@ -74,8 +95,15 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	// Dataflow is the package's dataflow summary, populated only for
-	// analyzers that list NeedDataflow in Requires (nil otherwise).
+	// analyzers that list NeedDataflow (or NeedCallGraph) in Requires
+	// (nil otherwise).
 	Dataflow *dataflow.Info
+	// CFG is the package's memoised control-flow-graph cache, populated
+	// only for analyzers that list NeedCFG in Requires (nil otherwise).
+	CFG *cfg.Info
+	// CallGraph is the package-level call graph, populated only for
+	// analyzers that list NeedCallGraph in Requires (nil otherwise).
+	CallGraph *callgraph.Graph
 
 	report func(Diagnostic)
 }
@@ -103,6 +131,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Pkg is the import path of the package the finding was reported in,
+	// stamped by the driver so multi-package output can sort by
+	// (package, file, offset, analyzer) independent of load order.
+	Pkg string
 	// SuggestedFixes optionally carries mechanical rewrites that resolve
 	// the finding; the first fix is the preferred one.
 	SuggestedFixes []SuggestedFix

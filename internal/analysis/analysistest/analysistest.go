@@ -38,6 +38,8 @@ import (
 	"testing"
 
 	"mpgraph/internal/analysis"
+	"mpgraph/internal/analysis/callgraph"
+	"mpgraph/internal/analysis/cfg"
 	"mpgraph/internal/analysis/dataflow"
 )
 
@@ -114,6 +116,12 @@ func analyze(t *testing.T, fx *fixture, a *analysis.Analyzer) []analysis.Diagnos
 	pass := analysis.NewPass(a, fx.fset, fx.files, fx.tpkg, fx.info, &diags)
 	if a.NeedsDataflow() {
 		pass.Dataflow = dataflow.New(fx.fset, fx.files, fx.info)
+	}
+	if a.Needs(analysis.NeedCFG) {
+		pass.CFG = cfg.NewInfo(fx.info)
+	}
+	if a.Needs(analysis.NeedCallGraph) {
+		pass.CallGraph = callgraph.New(fx.tpkg, pass.Dataflow)
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, fx.name, err)

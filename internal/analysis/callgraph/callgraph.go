@@ -1,0 +1,265 @@
+// Package callgraph grows the dataflow layer's per-call Callee resolution
+// into a package-level static call graph for mpgraph-vet's concurrency
+// analyzers. Nodes are the package's declared functions and methods; edges
+// are call sites resolved three ways:
+//
+//   - static: the callee is a declared function or method of this package
+//     (generic instantiations map to their Origin declaration);
+//   - function value: the callee is a func-typed variable, parameter or
+//     field — its reaching definitions (dataflow.Flow) name the declared
+//     functions and method values it may hold, each contributing an edge;
+//   - interface: the callee is an interface method — every package-level
+//     concrete type whose method set satisfies the interface contributes an
+//     edge to its implementing method.
+//
+// The graph over-approximates on purpose (any reaching definition, any
+// satisfying type), the same soundness posture as the dataflow layer: a
+// pass asking "does this goroutine reach a bounded-lifetime sink?" must not
+// miss an implementation. Edge order is deterministic — call sites in
+// source order, interface fan-out in package-scope (sorted) name order — so
+// analyzer output is byte-stable.
+//
+// Analyzers opt in by listing analysis.NeedCallGraph in Analyzer.Requires;
+// the checker then populates Pass.CallGraph once per package.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpgraph/internal/analysis/dataflow"
+)
+
+// Kind classifies how a call edge was resolved.
+type Kind int
+
+const (
+	// Static is a direct call of a declared function or method.
+	Static Kind = iota
+	// FuncValue is a call through a func-typed variable whose reaching
+	// definitions named the callee.
+	FuncValue
+	// Interface is an interface-method call resolved through the method
+	// sets of the package's concrete types.
+	Interface
+)
+
+// Edge is one resolved call.
+type Edge struct {
+	Caller, Callee *Node
+	Site           *ast.CallExpr
+	Kind           Kind
+}
+
+// Node is one declared function or method.
+type Node struct {
+	Obj  types.Object
+	Decl *ast.FuncDecl
+	// Out lists resolved outgoing calls in source order (interface fan-out
+	// grouped at its call site in sorted type order). Calls whose target is
+	// outside the package have no edge — analyzers consult the dataflow
+	// CallSite list when external callees matter.
+	Out []Edge
+	// In lists the incoming edges, in the callers' construction order.
+	In []Edge
+}
+
+// Graph is the package call graph.
+type Graph struct {
+	pkg   *types.Package
+	df    *dataflow.Info
+	nodes map[types.Object]*Node
+}
+
+// New builds the call graph for the package summarised by df.
+func New(pkg *types.Package, df *dataflow.Info) *Graph {
+	g := &Graph{pkg: pkg, df: df, nodes: map[types.Object]*Node{}}
+	funcs := df.SortedFuncs()
+	for _, fn := range funcs {
+		if fn.Obj != nil {
+			g.nodes[fn.Obj] = &Node{Obj: fn.Obj, Decl: fn.Decl}
+		}
+	}
+	for _, fn := range funcs {
+		if fn.Obj == nil {
+			continue
+		}
+		caller := g.nodes[fn.Obj]
+		for _, cs := range fn.Callees {
+			nodes, _ := g.resolve(fn.Decl, cs, map[types.Object]bool{})
+			for _, callee := range nodes {
+				e := Edge{Caller: caller, Callee: callee.n, Site: cs.Call, Kind: callee.kind}
+				caller.Out = append(caller.Out, e)
+				callee.n.In = append(callee.n.In, e)
+			}
+		}
+	}
+	return g
+}
+
+// Node returns the graph node for a declared function object, mapping
+// generic instantiations to their Origin declaration. nil when obj is not a
+// function declared in this package.
+func (g *Graph) Node(obj types.Object) *Node {
+	if obj == nil {
+		return nil
+	}
+	if f, ok := obj.(*types.Func); ok {
+		obj = f.Origin()
+	}
+	return g.nodes[obj]
+}
+
+// Nodes returns every node in source-position order.
+func (g *Graph) Nodes() []*Node {
+	funcs := g.df.SortedFuncs()
+	out := make([]*Node, 0, len(funcs))
+	for _, fn := range funcs {
+		if fn.Obj != nil {
+			out = append(out, g.nodes[fn.Obj])
+		}
+	}
+	return out
+}
+
+// resolved pairs a callee node with how it was found.
+type resolved struct {
+	n    *Node
+	kind Kind
+}
+
+// resolve maps one call site to its package-local callee nodes and any
+// function literals a func-valued callee may hold. seen guards against
+// cyclic func-value reassignment chains.
+func (g *Graph) resolve(enclosing *ast.FuncDecl, cs dataflow.CallSite, seen map[types.Object]bool) ([]resolved, []*ast.FuncLit) {
+	switch obj := cs.Obj.(type) {
+	case *types.Func:
+		if recv := receiverInterface(obj); recv != nil {
+			var out []resolved
+			for _, m := range g.implementations(recv, obj) {
+				if n := g.Node(m); n != nil {
+					out = append(out, resolved{n, Interface})
+				}
+			}
+			return out, nil
+		}
+		if n := g.Node(obj); n != nil {
+			return []resolved{{n, Static}}, nil
+		}
+		return nil, nil
+	case *types.Var:
+		return g.resolveFuncValue(enclosing, obj, seen)
+	default:
+		return nil, nil
+	}
+}
+
+// resolveFuncValue chases a func-typed variable's reaching definitions to
+// the declared functions and literals it may hold.
+func (g *Graph) resolveFuncValue(enclosing *ast.FuncDecl, v *types.Var, seen map[types.Object]bool) ([]resolved, []*ast.FuncLit) {
+	if seen[v] || enclosing == nil {
+		return nil, nil
+	}
+	seen[v] = true
+	flow := g.df.FuncFlow(enclosing)
+	var nodes []resolved
+	var lits []*ast.FuncLit
+	for _, def := range flow.Defs[v] {
+		switch e := ast.Unparen(def).(type) {
+		case *ast.FuncLit:
+			lits = append(lits, e)
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.IndexListExpr:
+			obj := dataflow.Callee(g.df.TypesInfo, &ast.CallExpr{Fun: e})
+			switch obj := obj.(type) {
+			case *types.Func:
+				if n := g.Node(obj); n != nil {
+					nodes = append(nodes, resolved{n, FuncValue})
+				}
+			case *types.Var:
+				ns, ls := g.resolveFuncValue(enclosing, obj, seen)
+				nodes = append(nodes, ns...)
+				lits = append(lits, ls...)
+			}
+		}
+	}
+	return nodes, lits
+}
+
+// ResolveCall resolves one call site inside enclosing to package-local
+// callee nodes plus any function literals a func-valued callee may hold —
+// the per-site view analyzers use when walking closure bodies the graph's
+// node set cannot represent.
+func (g *Graph) ResolveCall(enclosing *ast.FuncDecl, call *ast.CallExpr) ([]*Node, []*ast.FuncLit) {
+	cs := dataflow.CallSite{Call: call, Obj: dataflow.Callee(g.df.TypesInfo, call)}
+	rs, lits := g.resolve(enclosing, cs, map[types.Object]bool{})
+	nodes := make([]*Node, 0, len(rs))
+	for _, r := range rs {
+		nodes = append(nodes, r.n)
+	}
+	return nodes, lits
+}
+
+// Walk visits start and everything transitively callable from it over Out
+// edges, in deterministic order, stopping early (and reporting true) when
+// visit returns true.
+func (g *Graph) Walk(start *Node, visit func(*Node) bool) bool {
+	seen := map[*Node]bool{}
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n == nil || seen[n] {
+			return false
+		}
+		seen[n] = true
+		if visit(n) {
+			return true
+		}
+		for _, e := range n.Out {
+			if walk(e.Callee) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start)
+}
+
+// receiverInterface returns the interface type a method is declared on, or
+// nil for functions and concrete methods.
+func receiverInterface(f *types.Func) *types.Interface {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return iface
+}
+
+// implementations lists the package's concrete methods that can stand
+// behind an interface-method call, in package-scope name order.
+func (g *Graph) implementations(iface *types.Interface, m *types.Func) []*types.Func {
+	var out []*types.Func
+	for _, name := range g.pkg.Scope().Names() { // Names() is sorted
+		tn, ok := g.pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		for _, t := range []types.Type{T, types.NewPointer(T)} {
+			if !types.Implements(t, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(t, true, g.pkg, m.Name()) //mpgraph:allow errdrop -- Implements already vetted the method set; only the object is needed, not its index path or addressability
+			if f, ok := obj.(*types.Func); ok {
+				out = append(out, f.Origin())
+			}
+			break // the pointer method set contains the value's; one hit is enough
+		}
+	}
+	return out
+}

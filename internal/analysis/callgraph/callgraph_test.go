@@ -1,0 +1,248 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"mpgraph/internal/analysis/callgraph"
+	"mpgraph/internal/analysis/dataflow"
+)
+
+// build type-checks one in-memory file and returns its call graph plus the
+// package for scope lookups.
+func build(t *testing.T, src string) (*callgraph.Graph, *types.Package, *dataflow.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	df := dataflow.New(fset, []*ast.File{f}, info)
+	return callgraph.New(pkg, df), pkg, df
+}
+
+// node looks a function up by package-scope name.
+func node(t *testing.T, g *callgraph.Graph, pkg *types.Package, name string) *callgraph.Node {
+	t.Helper()
+	n := g.Node(pkg.Scope().Lookup(name))
+	if n == nil {
+		t.Fatalf("no node for %s", name)
+	}
+	return n
+}
+
+// calls reports whether from has a direct edge to to with the given kind.
+func calls(from, to *callgraph.Node, kind callgraph.Kind) bool {
+	for _, e := range from.Out {
+		if e.Callee == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStaticEdges: plain calls produce Static edges and Walk follows them
+// transitively.
+func TestStaticEdges(t *testing.T) {
+	g, pkg, _ := build(t, `package x
+func a() { b() }
+func b() { c() }
+func c() {}
+func lone() {}
+`)
+	na, nb, nc := node(t, g, pkg, "a"), node(t, g, pkg, "b"), node(t, g, pkg, "c")
+	nl := node(t, g, pkg, "lone")
+	if !calls(na, nb, callgraph.Static) || !calls(nb, nc, callgraph.Static) {
+		t.Fatal("direct calls must produce Static edges")
+	}
+	if len(nc.In) != 1 || nc.In[0].Caller != nb {
+		t.Fatal("c must record exactly the b->c incoming edge")
+	}
+	reached := false
+	g.Walk(na, func(n *callgraph.Node) bool {
+		if n == nc {
+			reached = true
+		}
+		return false
+	})
+	if !reached {
+		t.Fatal("Walk from a must transitively reach c")
+	}
+	if g.Walk(na, func(n *callgraph.Node) bool { return n == nl }) {
+		t.Fatal("Walk must not reach an unconnected function")
+	}
+	if !g.Walk(na, func(n *callgraph.Node) bool { return n == nb }) {
+		t.Fatal("Walk must stop early and report true when visit matches")
+	}
+}
+
+// TestInterfaceResolution: a call through an interface method fans out to
+// every package-local concrete implementation, in sorted type-name order.
+func TestInterfaceResolution(t *testing.T) {
+	g, pkg, _ := build(t, `package x
+
+type stepper interface{ step() }
+
+type alpha struct{}
+func (alpha) step() {}
+
+type beta struct{}
+func (*beta) step() {}
+
+type unrelated struct{}
+func (unrelated) other() {}
+
+func run(s stepper) { s.step() }
+`)
+	run := node(t, g, pkg, "run")
+	if len(run.Out) != 2 {
+		t.Fatalf("run must fan out to both implementations, got %d edges", len(run.Out))
+	}
+	for _, e := range run.Out {
+		if e.Kind != callgraph.Interface {
+			t.Fatalf("edge kind = %v, want Interface", e.Kind)
+		}
+	}
+	// Package-scope name order: alpha before beta.
+	recvName := func(n *callgraph.Node) string {
+		sig := n.Obj.Type().(*types.Signature)
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return t.(*types.Named).Obj().Name()
+	}
+	if recvName(run.Out[0].Callee) != "alpha" || recvName(run.Out[1].Callee) != "beta" {
+		t.Fatalf("interface fan-out must be in sorted type order, got %s, %s",
+			recvName(run.Out[0].Callee), recvName(run.Out[1].Callee))
+	}
+}
+
+// TestFuncValueTracking: calls through func-typed variables follow the
+// reaching definitions, including reassignment and chained variables.
+func TestFuncValueTracking(t *testing.T) {
+	g, pkg, _ := build(t, `package x
+func first() {}
+func second() {}
+
+func caller(pick bool) {
+	fv := first
+	if pick {
+		fv = second
+	}
+	chained := fv
+	chained()
+}
+`)
+	caller := node(t, g, pkg, "caller")
+	nf, ns := node(t, g, pkg, "first"), node(t, g, pkg, "second")
+	if !calls(caller, nf, callgraph.FuncValue) || !calls(caller, ns, callgraph.FuncValue) {
+		t.Fatal("a func value call must follow reaching definitions through chained variables to both targets")
+	}
+}
+
+// TestResolveCallLiterals: a func value holding a literal surfaces the
+// literal through ResolveCall so analyzers can walk its body.
+func TestResolveCallLiterals(t *testing.T) {
+	g, pkg, df := build(t, `package x
+func named() {}
+
+func caller() {
+	fv := func() { named() }
+	fv()
+}
+`)
+	caller := node(t, g, pkg, "caller")
+	var call *ast.CallExpr
+	ast.Inspect(caller.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "fv" {
+				call = c
+			}
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no fv() call found")
+	}
+	nodes, lits := g.ResolveCall(caller.Decl, call)
+	if len(nodes) != 0 {
+		t.Fatalf("literal-valued call must not resolve to named nodes, got %d", len(nodes))
+	}
+	if len(lits) != 1 {
+		t.Fatalf("literal-valued call must surface the literal, got %d", len(lits))
+	}
+	// The literal's body calls are attributed to the enclosing declaration
+	// by the dataflow layer, so the graph still records caller -> named.
+	if df.Decls[caller.Decl] == nil {
+		t.Fatal("dataflow must summarise caller")
+	}
+	if !calls(caller, node(t, g, pkg, "named"), callgraph.Static) {
+		t.Fatal("calls inside the literal body belong to the enclosing function's edges")
+	}
+}
+
+// TestGenericOrigin: calling an instantiated generic function maps the edge
+// to the Origin declaration's node.
+func TestGenericOrigin(t *testing.T) {
+	g, pkg, _ := build(t, `package x
+func id[T any](v T) T { return v }
+
+func caller() {
+	_ = id[int](1)
+	_ = id("s")
+}
+`)
+	caller := node(t, g, pkg, "caller")
+	gid := node(t, g, pkg, "id")
+	n := 0
+	for _, e := range caller.Out {
+		if e.Callee == gid && e.Kind == callgraph.Static {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("both instantiations must map to the Origin node, got %d edges", n)
+	}
+}
+
+// TestMethodValueCallee: a method value assigned to a variable resolves
+// through func-value tracking to the concrete method.
+func TestMethodValueCallee(t *testing.T) {
+	g, pkg, _ := build(t, `package x
+type counter struct{ n int }
+func (c *counter) bump() { c.n++ }
+
+func caller(c *counter) {
+	f := c.bump
+	f()
+}
+`)
+	caller := node(t, g, pkg, "caller")
+	var bump *callgraph.Node
+	for _, n := range g.Nodes() {
+		if n.Obj.Name() == "bump" {
+			bump = n
+		}
+	}
+	if bump == nil {
+		t.Fatal("no node for method bump")
+	}
+	if !calls(caller, bump, callgraph.FuncValue) {
+		t.Fatal("a stored method value must resolve to the concrete method")
+	}
+}

@@ -1,23 +1,29 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
+	"mpgraph/internal/analysis/callgraph"
+	"mpgraph/internal/analysis/cfg"
 	"mpgraph/internal/analysis/dataflow"
 )
 
 // Analyze applies every analyzer (honouring Match) to every package and
 // returns the surviving findings: //mpgraph:allow-suppressed diagnostics are
 // dropped, repeats at one position are collapsed, and the result is sorted
-// by file position — the packages arrive sorted from the loader and share
-// its FileSet, so the concatenated order is stable run to run. Shared facts
-// (the dataflow summary) are computed once per package, and only when some
-// analyzer that runs on it asks.
+// globally by (package path, file, offset, analyzer) so multi-package runs
+// are byte-deterministic regardless of load order. Shared facts (the
+// dataflow summary, the CFG cache, the call graph) are computed once per
+// package, and only when some analyzer that runs on it asks.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var df *dataflow.Info
+		var cg *callgraph.Graph
+		var cf *cfg.Info
 		var diags []Diagnostic
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
@@ -30,6 +36,18 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				}
 				pass.Dataflow = df
 			}
+			if a.Needs(NeedCFG) {
+				if cf == nil {
+					cf = cfg.NewInfo(pkg.Info)
+				}
+				pass.CFG = cf
+			}
+			if a.Needs(NeedCallGraph) {
+				if cg == nil {
+					cg = callgraph.New(pkg.Types, df)
+				}
+				pass.CallGraph = cg
+			}
 			if err := a.Run(pass); err != nil {
 				return all, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
@@ -38,7 +56,29 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			continue
 		}
 		sup := CollectSuppressions(pkg.Fset, pkg.Files)
-		all = append(all, Filter(pkg.Fset, diags, sup)...)
+		for _, d := range Filter(pkg.Fset, diags, sup) {
+			d.Pkg = pkg.Path
+			all = append(all, d)
+		}
+	}
+	if len(all) > 1 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].Pkg != all[j].Pkg {
+				return all[i].Pkg < all[j].Pkg
+			}
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Offset != pj.Offset {
+				return pi.Offset < pj.Offset
+			}
+			if all[i].Analyzer != all[j].Analyzer {
+				return all[i].Analyzer < all[j].Analyzer
+			}
+			return all[i].Message < all[j].Message
+		})
 	}
 	return all, nil
 }
@@ -55,6 +95,46 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, err
 		fset := pkgs[0].Fset
 		for _, d := range diags {
 			fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	return len(diags), err
+}
+
+// JSONDiagnostic is the -json wire form of one finding: one object per
+// line, stable field order, no timestamps — the artifact is diffable run to
+// run like every other mpgraph report.
+type JSONDiagnostic struct {
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+// RunAnalyzersJSON runs Analyze and writes one JSON object per finding to
+// w, returning the number written.
+func RunAnalyzersJSON(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, error) {
+	if len(pkgs) == 0 {
+		return 0, nil
+	}
+	diags, err := Analyze(pkgs, analyzers)
+	enc := json.NewEncoder(w)
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		jd := JSONDiagnostic{
+			Package:  d.Pkg,
+			File:     p.Filename,
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Fixable:  len(d.SuggestedFixes) > 0,
+		}
+		if encErr := enc.Encode(jd); encErr != nil && err == nil {
+			err = encErr
 		}
 	}
 	return len(diags), err

@@ -168,3 +168,183 @@ func TestClosure(t *testing.T) {
 	}
 	_ = info
 }
+
+const methodValueSrc = `package x
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func use(c *counter) {
+	f := c.bump
+	f()
+}
+`
+
+// TestMethodValueDef: binding a method value records the selector as the
+// variable's reaching definition, and Callee on the indirect call resolves
+// to the variable (not the method) — the hop the call-graph layer follows.
+func TestMethodValueDef(t *testing.T) {
+	in, info, files := parse(t, methodValueSrc)
+	fd := funcDecl(t, files, "use")
+	flow := in.FuncFlow(fd)
+
+	var fObj types.Object
+	for obj := range flow.Defs {
+		if obj.Name() == "f" {
+			fObj = obj
+		}
+	}
+	if fObj == nil {
+		t.Fatal("no reaching definition recorded for f")
+	}
+	defs := flow.Defs[fObj]
+	if len(defs) != 1 {
+		t.Fatalf("f has %d defs, want 1", len(defs))
+	}
+	sel, ok := defs[0].(*ast.SelectorExpr)
+	if !ok {
+		t.Fatalf("f's def is %T, want *ast.SelectorExpr", defs[0])
+	}
+	if obj := info.Uses[sel.Sel]; obj == nil || obj.Name() != "bump" {
+		t.Errorf("method-value def resolves to %v, want bump", obj)
+	}
+
+	var indirect *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "f" {
+				indirect = call
+			}
+		}
+		return true
+	})
+	if indirect == nil {
+		t.Fatal("no f() call found")
+	}
+	if obj := dataflow.Callee(info, indirect); obj != fObj {
+		t.Errorf("Callee(f()) = %v, want the variable f", obj)
+	}
+}
+
+const deferSrc = `package x
+
+func source() int { return 1 }
+
+func late() int {
+	x := 0
+	defer func() {
+		x = source()
+	}()
+	return x
+}
+`
+
+// TestDeferredAssignment: an assignment inside a deferred closure still
+// reaches the enclosing function's definition index — deferred code is the
+// classic place unlock/cleanup writes hide.
+func TestDeferredAssignment(t *testing.T) {
+	in, info, files := parse(t, deferSrc)
+	fd := funcDecl(t, files, "late")
+	flow := in.FuncFlow(fd)
+	isSeed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		obj := dataflow.Callee(info, call)
+		return obj != nil && obj.Name() == "source"
+	}
+	tainted := flow.Tainted(info, nil, isSeed)
+	found := false
+	for obj := range tainted {
+		if obj.Name() == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("x assigned in a deferred closure is not tainted")
+	}
+}
+
+const loopReassignSrc = `package x
+
+func a() {}
+func b() {}
+
+func pick(n int) {
+	f := a
+	for i := 0; i < n; i++ {
+		f = b
+		f()
+	}
+	f()
+}
+`
+
+// TestLoopReassignedFuncValue: a function value reassigned inside a loop
+// keeps BOTH reaching definitions — flow-insensitivity is the conservative
+// contract the call-graph's func-value edges rely on.
+func TestLoopReassignedFuncValue(t *testing.T) {
+	in, info, files := parse(t, loopReassignSrc)
+	fd := funcDecl(t, files, "pick")
+	flow := in.FuncFlow(fd)
+	var defs []ast.Expr
+	for obj, ds := range flow.Defs {
+		if obj.Name() == "f" {
+			defs = ds
+		}
+	}
+	if len(defs) != 2 {
+		t.Fatalf("f has %d reaching defs, want 2 (initial a, loop-assigned b)", len(defs))
+	}
+	got := map[string]bool{}
+	for _, d := range defs {
+		if id, ok := d.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				got[obj.Name()] = true
+			}
+		}
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("reaching defs resolve to %v, want both a and b", got)
+	}
+}
+
+const genericSrc = `package x
+
+func identity[T any](v T) T { return v }
+
+func callers() (int, string) {
+	return identity(1), identity("s")
+}
+`
+
+// TestGenericCallee: Callee on instantiated calls resolves both uses to the
+// single generic declaration — the object the call graph keys its Origin
+// node on.
+func TestGenericCallee(t *testing.T) {
+	in, info, files := parse(t, genericSrc)
+	fd := funcDecl(t, files, "callers")
+	_ = in
+	var objs []types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			objs = append(objs, dataflow.Callee(info, call))
+		}
+		return true
+	})
+	if len(objs) != 2 {
+		t.Fatalf("found %d calls, want 2", len(objs))
+	}
+	if objs[0] == nil || objs[0] != objs[1] {
+		t.Fatalf("instantiated calls resolve to %v and %v, want one shared generic object", objs[0], objs[1])
+	}
+	fn, ok := objs[0].(*types.Func)
+	if !ok || fn.Name() != "identity" {
+		t.Errorf("Callee = %v, want the generic identity func", objs[0])
+	}
+	if fn.Origin() != fn {
+		t.Errorf("Uses-resolved generic is not its own Origin: %v", fn)
+	}
+}

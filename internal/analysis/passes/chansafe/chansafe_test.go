@@ -1,0 +1,18 @@
+package chansafe_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/chansafe"
+)
+
+func TestChansafe(t *testing.T) {
+	analysistest.Run(t, "testdata", chansafe.Analyzer, "a", "b")
+}
+
+// TestChansafeFix checks the inserted allow directive against the golden
+// and that the fixed source analyses clean.
+func TestChansafeFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata", chansafe.Analyzer, "fix")
+}

@@ -1,0 +1,46 @@
+package a
+
+// sendAfterClose closes before the send loop: every send panics.
+func sendAfterClose(vs []int) {
+	ch := make(chan int, len(vs))
+	close(ch)
+	for _, v := range vs {
+		ch <- v // want `send on ch may execute after close; a send on a closed channel panics`
+	}
+}
+
+// doubleClose may close twice when done is set.
+func doubleClose(done bool) chan int {
+	ch := make(chan int)
+	if done {
+		close(ch)
+	}
+	close(ch) // want `ch may already be closed when this close executes; a double close panics`
+	return ch
+}
+
+// closeParam closes a channel it does not own.
+func closeParam(ch chan int) {
+	close(ch) // want `close of channel parameter ch: only the owning \(creating\) function should close a channel`
+}
+
+// nilArm selects on a channel that is never made: the arm cannot fire.
+func nilArm() {
+	var pause chan struct{}
+	ready := make(chan struct{}, 1)
+	ready <- struct{}{}
+	select {
+	case <-pause: // want `select arm on pause which is always nil and can never fire`
+	case <-ready:
+	}
+}
+
+// nilAssigned only ever assigns nil to the selected channel.
+func nilAssigned(stop chan struct{}) {
+	var gate chan int
+	gate = nil
+	select {
+	case <-gate: // want `select arm on gate which is always nil and can never fire`
+	case <-stop:
+	}
+}

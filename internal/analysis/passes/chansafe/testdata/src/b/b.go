@@ -1,0 +1,61 @@
+package b
+
+// ownerClose is the contract shape: the creator sends, then closes once.
+func ownerClose(vs []int) chan int {
+	ch := make(chan int, len(vs))
+	for _, v := range vs {
+		ch <- v
+	}
+	close(ch)
+	return ch
+}
+
+// remade closes a channel created fresh each iteration: the back edge leads
+// to a new channel, not a closed one.
+func remade(n int) {
+	for i := 0; i < n; i++ {
+		ch := make(chan int, 1)
+		ch <- i
+		close(ch)
+	}
+}
+
+// sendToParam sends on a parameter without closing it: the owner closes.
+func sendToParam(ch chan int, v int) {
+	ch <- v
+}
+
+// branchClose closes on exactly one path.
+func branchClose(done bool) chan int {
+	ch := make(chan int)
+	if done {
+		close(ch)
+		return ch
+	}
+	ch <- 1
+	return ch
+}
+
+// liveArms selects only on channels that are actually made or received.
+func liveArms(stop chan struct{}) {
+	tick := make(chan int, 1)
+	tick <- 0
+	select {
+	case <-tick:
+	case <-stop:
+	}
+}
+
+// lateMake assigns the channel before the select: not forever-nil.
+func lateMake(ready bool) {
+	var gate chan int
+	if ready {
+		gate = make(chan int, 1)
+		gate <- 1
+	}
+	select {
+	case v := <-gate:
+		_ = v
+	default:
+	}
+}

@@ -1,0 +1,7 @@
+package fix
+
+// shutdown closes a channel handed in by the caller; the fix documents the
+// ownership exception with an allow directive.
+func shutdown(done chan struct{}) {
+	close(done)
+}

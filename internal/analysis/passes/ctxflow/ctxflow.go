@@ -1,0 +1,191 @@
+// Package ctxflow enforces context threading: a function that takes a
+// context.Context must pass that context (or one derived from it) to the
+// blocking work it does, not drop it on the floor. A dropped context makes
+// the callee uncancellable — exactly the bug that turns mpgraph-serve
+// session teardown into goroutine leaks.
+//
+// Two rules, per function with a context.Context parameter:
+//
+//   - a call to a context-taking callee whose context argument is not
+//     derived from the caller's context parameter (dataflow taint over the
+//     function's assignment chains decides "derived"; context.Background()
+//     and context.TODO() are the canonical offenders and get a suggested
+//     fix replacing the argument with the parameter);
+//   - a context parameter that is never used at all in a function that
+//     blocks on channel operations — the select should be listening to
+//     ctx.Done() alongside the channel.
+//
+// Functions without a context parameter are out of scope: package main
+// roots and tests legitimately mint Background contexts. Deliberate
+// exceptions take //mpgraph:allow ctxflow -- <reason>.
+package ctxflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mpgraph/internal/analysis"
+	"mpgraph/internal/analysis/dataflow"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      "require context.Context parameters to be threaded to blocking callees instead of dropped or replaced with context.Background",
+	Requires: []string{analysis.NeedDataflow},
+	Match: func(path string) bool {
+		return path == "mpgraph" || strings.HasPrefix(path, "mpgraph/internal/")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParam(pass.TypesInfo, fd)
+			if ctxParam == nil {
+				continue
+			}
+			checkFunc(pass, fd, ctxParam)
+		}
+	}
+	return nil
+}
+
+// contextParam returns the function's first context.Context parameter
+// object, or nil.
+func contextParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(field.Type, info) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether the expression denotes context.Context.
+func isContextType(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return isContext(tv.Type)
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, ctxParam types.Object) {
+	info := pass.TypesInfo
+	flow := pass.Dataflow.FuncFlow(fd)
+	tainted := flow.Tainted(info, map[types.Object]bool{ctxParam: true}, nil)
+
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == ctxParam {
+			used = true
+		}
+		return !used
+	})
+
+	var firstBlocking token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if firstBlocking == token.NoPos {
+				firstBlocking = x.Pos()
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && firstBlocking == token.NoPos {
+				firstBlocking = x.Pos()
+			}
+		case *ast.SelectStmt:
+			if firstBlocking == token.NoPos {
+				firstBlocking = x.Pos()
+			}
+		case *ast.CallExpr:
+			idx, ok := contextArgIndex(info, x)
+			if !ok || idx >= len(x.Args) {
+				return true
+			}
+			arg := x.Args[idx]
+			if dataflow.ExprTainted(info, arg, tainted, nil) {
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: arg.Pos(),
+				Message: fmt.Sprintf("context not derived from %s reaches a blocking callee; thread the caller's context",
+					ctxParam.Name()),
+			}
+			if isFreshContext(info, arg) {
+				d.Message = fmt.Sprintf("%s passed while %s is in scope; thread the caller's context",
+					types.ExprString(arg), ctxParam.Name())
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: "pass the caller's context instead of a fresh one",
+					TextEdits: []analysis.TextEdit{{
+						Pos: arg.Pos(), End: arg.End(), NewText: ctxParam.Name(),
+					}},
+				}}
+			}
+			pass.Report(d)
+		}
+		return true
+	})
+
+	if !used && firstBlocking != token.NoPos {
+		pass.Reportf(firstBlocking,
+			"%s is never used but the function blocks here; select on %s.Done() alongside the channel or drop the parameter",
+			ctxParam.Name(), ctxParam.Name())
+	}
+}
+
+// contextArgIndex returns the position of the callee's context.Context
+// parameter, when the callee is a statically-known function that takes one.
+func contextArgIndex(info *types.Info, call *ast.CallExpr) (int, bool) {
+	obj := dataflow.Callee(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// isFreshContext recognises context.Background() and context.TODO() calls.
+func isFreshContext(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := dataflow.Callee(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return false
+	}
+	return obj.Name() == "Background" || obj.Name() == "TODO"
+}

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a", "b")
+}
+
+// TestCtxflowFix checks the thread-the-context rewrite against the golden
+// and that the fixed source analyses clean.
+func TestCtxflowFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata", ctxflow.Analyzer, "fix")
+}

@@ -1,0 +1,27 @@
+package a
+
+import "context"
+
+func helper(ctx context.Context, n int) int { return n }
+
+// background mints a fresh context even though the caller handed one in.
+func background(ctx context.Context, n int) int {
+	return helper(context.Background(), n) // want `context\.Background\(\) passed while ctx is in scope; thread the caller's context`
+}
+
+// todo is the same bug spelled context.TODO.
+func todo(ctx context.Context, n int) int {
+	return helper(context.TODO(), n) // want `context\.TODO\(\) passed while ctx is in scope; thread the caller's context`
+}
+
+// laundered hides the fresh context behind a local variable; the generic
+// not-derived message fires because c2 is not tainted by ctx.
+func laundered(ctx context.Context, n int) int {
+	c2 := context.Background()
+	return helper(c2, n) // want `context not derived from ctx reaches a blocking callee; thread the caller's context`
+}
+
+// dropped never touches ctx but parks on a channel.
+func dropped(ctx context.Context, ch chan int) int {
+	return <-ch // want `ctx is never used but the function blocks here; select on ctx\.Done\(\) alongside the channel or drop the parameter`
+}

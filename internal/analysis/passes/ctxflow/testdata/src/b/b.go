@@ -1,0 +1,42 @@
+package b
+
+import (
+	"context"
+	"time"
+)
+
+func helper(ctx context.Context, n int) int { return n }
+
+// threads passes the caller's context straight through.
+func threads(ctx context.Context, n int) int {
+	return helper(ctx, n)
+}
+
+// derived threads a context descended from ctx; taint through the tuple
+// assignment keeps it legal.
+func derived(ctx context.Context, n int) int {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return helper(tctx, n)
+}
+
+// listens uses ctx.Done in the select, so the parameter is live.
+func listens(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// root has no context parameter: minting Background here is legitimate.
+func root(n int) int {
+	return helper(context.Background(), n)
+}
+
+// unusedNoBlock ignores ctx but never blocks, which is merely dead weight,
+// not a cancellation bug.
+func unusedNoBlock(ctx context.Context, n int) int {
+	return n + 1
+}

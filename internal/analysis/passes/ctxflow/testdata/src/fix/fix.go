@@ -1,0 +1,10 @@
+package fix
+
+import "context"
+
+func helper(ctx context.Context, n int) int { return n }
+
+// refresh drops the caller's context for a fresh one; the fix threads ctx.
+func refresh(ctx context.Context, n int) int {
+	return helper(context.Background(), n)
+}

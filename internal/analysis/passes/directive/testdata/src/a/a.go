@@ -1,0 +1,37 @@
+package a
+
+// bareAllow suppresses without saying why.
+func bareAllow() float64 {
+	x := 0.1 + 0.2
+	return x //mpgraph:allow floateq // want `mpgraph:allow directive without a reason`
+}
+
+// bogusName cites an analyzer that does not exist.
+func bogusName() int {
+	return 1 //mpgraph:allow bogus -- covered elsewhere // want `unknown analyzer "bogus" in mpgraph:allow directive`
+}
+
+// emptyAllow names nothing at all.
+func emptyAllow() int {
+	return 2 //mpgraph:allow // want `mpgraph:allow directive names no analyzers`
+}
+
+// bareWalltime gates a timing loop without a justification.
+func bareWalltime() int {
+	return 3 //mpgraph:allow-walltime // want `mpgraph:allow-walltime directive without a reason`
+}
+
+// bareDetached blesses a goroutine without a justification.
+func bareDetached() {
+	go func() {}() //mpgraph:detached // want `mpgraph:detached directive without a reason`
+}
+
+//mpgraph:recovers // want `mpgraph:recovers is a doc marker, not a directive`
+func noSpaceMarker() {
+	defer func() { recover() }()
+}
+
+// typo uses a verb nobody registered.
+func typo() int {
+	return 4 //mpgraph:alow floateq -- typo'd verb // want `unknown directive mpgraph:alow`
+}

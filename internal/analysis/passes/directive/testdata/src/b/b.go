@@ -1,0 +1,41 @@
+package b
+
+// reasoned is the contract shape: names plus a reason.
+func reasoned() float64 {
+	x := 0.1 + 0.2
+	return x //mpgraph:allow floateq -- demonstrates the documented-suppression form
+}
+
+// multiName silences two analyzers with one explained directive.
+func multiName() float64 {
+	y := 0.3 * 3.0
+	return y //mpgraph:allow floateq,errdrop -- one reason can cover several checks
+}
+
+// walltimeReason documents why the timing gate is off here.
+//
+//mpgraph:allow-walltime -- measures its own calibration loop
+func walltimeReason() int {
+	return 1
+}
+
+// detachedReason documents the goroutine's lifetime story.
+func detachedReason(ch chan int) {
+	go func() { ch <- 1 }() //mpgraph:detached -- test stub; receiver drains before exit
+}
+
+//mpgraph:noalloc
+func marker(dst, src []float64) {
+	copy(dst, src)
+}
+
+// mpgraph:recovers
+func spaceMarker() {
+	defer func() { recover() }()
+}
+
+// prose that merely talks about //mpgraph:allow directives is not itself a
+// directive, because the verb is not at the start of the comment.
+func prose() int {
+	return 2
+}

@@ -1,0 +1,18 @@
+package fix
+
+// bare gets a TODO reason appended so the suppression is at least visibly
+// undocumented.
+func bare() int {
+	x := 1
+	return x //mpgraph:allow errdrop
+}
+
+//mpgraph:allow-walltime
+func timing() int {
+	return 2
+}
+
+//mpgraph:recovers
+func boundary() {
+	defer func() { recover() }()
+}

@@ -1,0 +1,18 @@
+package golifetime_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/golifetime"
+)
+
+func TestGolifetime(t *testing.T) {
+	analysistest.Run(t, "testdata", golifetime.Analyzer, "a", "b")
+}
+
+// TestGolifetimeFix checks the appended detached directive against the
+// golden and that the fixed source analyses clean.
+func TestGolifetimeFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata", golifetime.Analyzer, "fix")
+}

@@ -1,0 +1,54 @@
+package a
+
+import "sync"
+
+func work() {}
+
+// spin loops forever with no bound.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// recoverAll is a recovery boundary.
+//
+// mpgraph:recovers
+func recoverAll() { _ = recover() }
+
+// leak spawns an unbounded, unguarded goroutine: both contracts fail.
+func leak() {
+	go spin() // want `goroutine may outlive its spawner` `goroutine without a resilience boundary`
+}
+
+// leakGuarded is panic-safe but still unbounded.
+func leakGuarded() {
+	go func() { // want `goroutine may outlive its spawner`
+		defer recoverAll()
+		spin()
+	}()
+}
+
+// unguarded is joined but panics escape it.
+func unguarded(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `goroutine without a resilience boundary`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// leakValue spawns through a function value bound to an unbounded worker.
+func leakValue() {
+	run := spin
+	go run() // want `goroutine may outlive its spawner` `goroutine without a resilience boundary`
+}
+
+// bareDetached has a directive without a reason: it does not count.
+func bareDetached() {
+	go func() { // want `goroutine may outlive its spawner`
+		defer recoverAll()
+		spin()
+	}() //mpgraph:detached
+}

@@ -1,0 +1,83 @@
+package b
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// recoverAll is a recovery boundary.
+//
+// mpgraph:recovers
+func recoverAll() { _ = recover() }
+
+// joined spawns workers bounded by a visible WaitGroup join and guarded by
+// a recovery helper.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer recoverAll()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker drains the channel until the context ends: the select is the sink.
+func worker(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-ch:
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}
+}
+
+// guardedWorker wraps worker with the boundary.
+func guardedWorker(ctx context.Context, ch chan int) {
+	defer recoverAll()
+	worker(ctx, ch)
+}
+
+// start reaches both contracts transitively through the call graph.
+func start(ctx context.Context, ch chan int) {
+	go guardedWorker(ctx, ch)
+}
+
+// drain ranges over a channel: bounded by the sender closing it.
+func drain(ch chan int) {
+	go func() {
+		defer recoverAll()
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// closureValue spawns a locally-bound closure whose body has the sink.
+func closureValue(ctx context.Context) {
+	run := func() {
+		defer recoverAll()
+		<-ctx.Done()
+	}
+	go run()
+}
+
+// detached documents the deliberate process-lifetime goroutine.
+func detached() {
+	go func() { //mpgraph:detached -- steady-state telemetry emitter; lives for the process by design
+		defer recoverAll()
+		for {
+			work()
+		}
+	}()
+}

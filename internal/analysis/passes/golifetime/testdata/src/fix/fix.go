@@ -1,0 +1,19 @@
+package fix
+
+func emit() {}
+
+// recoverAll is a recovery boundary.
+//
+// mpgraph:recovers
+func recoverAll() { _ = recover() }
+
+// stream spawns a guarded emitter with no lifetime bound; the fix appends
+// the detached directive with a TODO reason.
+func stream() {
+	go func() {
+		defer recoverAll()
+		for {
+			emit()
+		}
+	}()
+}

@@ -1,0 +1,18 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "a", "b")
+}
+
+// TestLockcheckFix checks the inserted defer unlock against the golden and
+// that the fixed source analyses clean.
+func TestLockcheckFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata", lockcheck.Analyzer, "fix")
+}

@@ -1,0 +1,69 @@
+package a
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func compute(n int) int { return n * 2 }
+
+// recoverAll is a recovery boundary for the boundary-crossing case.
+//
+// mpgraph:recovers
+func recoverAll() { _ = recover() }
+
+// earlyReturn leaks the lock on the n < 0 path.
+func earlyReturn(s *store) int {
+	s.mu.Lock() // want `s\.mu acquired here may not be released on every path to return`
+	if s.n < 0 {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// panicUnderLock makes a call while manually locked: a panic in the callee
+// leaks the lock.
+func panicUnderLock(s *store) int {
+	s.mu.Lock()
+	v := compute(s.n) // want `s\.mu is not released if compute panics; unlock with defer or release before the call`
+	s.mu.Unlock()
+	return v
+}
+
+// doubleLock locks twice on one path.
+func doubleLock(s *store) {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Lock() // want `possible double lock of s\.mu: already held on a path reaching this Lock`
+	}
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// sendLocked blocks on a channel with the lock held.
+func sendLocked(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.n // want `s\.mu held across a channel operation; release the lock before blocking`
+}
+
+// boundaryLocked runs a recovery boundary inside the critical section.
+func boundaryLocked(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recoverAll() // want `s\.mu held across resilience boundary recoverAll; recovery boundaries run arbitrary compute and must not extend a critical section`
+}
+
+// readLeak leaks an RLock on the early return.
+func readLeak(s *store) int {
+	s.rw.RLock() // want `s\.rw acquired here may not be released on every path to return`
+	if s.n == 0 {
+		return 0
+	}
+	s.rw.RUnlock()
+	return s.n
+}

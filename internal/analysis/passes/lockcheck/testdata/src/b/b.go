@@ -1,0 +1,72 @@
+package b
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func compute(n int) int { return n * 2 }
+
+// deferred is the idiomatic shape: defer releases on every path, so calls
+// under the lock are panic-safe.
+func deferred(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return compute(s.n)
+}
+
+// balanced releases manually on every path and makes no calls while locked.
+func balanced(s *store) int {
+	s.mu.Lock()
+	if s.n < 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.n
+	s.mu.Unlock()
+	return compute(v)
+}
+
+// reads holds the read lock with a deferred release.
+func reads(s *store) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// deferredClosure releases through a deferred literal.
+func deferredClosure(s *store) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return compute(s.n)
+}
+
+// builtinsLocked uses only non-panicking builtins while manually locked.
+func builtinsLocked(s *store, xs []int) int {
+	s.mu.Lock()
+	n := len(xs) + cap(xs) + s.n
+	s.mu.Unlock()
+	return n
+}
+
+// relocked releases and reacquires in a loop: never doubly held.
+func relocked(s *store, rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// sendUnlocked releases before the channel operation.
+func sendUnlocked(s *store, ch chan int) {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	ch <- v
+}

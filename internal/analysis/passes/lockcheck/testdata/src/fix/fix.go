@@ -1,0 +1,15 @@
+package fix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump acquires and never releases; the fix inserts the deferred unlock.
+func bump(c *counter) int {
+	c.mu.Lock()
+	c.n++
+	return c.n
+}

@@ -132,7 +132,7 @@ func (cs *compressedSuite) int8Suite(calib []*models.Sample) (*compressedSuite, 
 // speed IS the measurement here, so this one figure sits outside the
 // byte-identity replay oracle (every other column stays deterministic).
 //
-//mpgraph:allow-walltime
+//mpgraph:allow-walltime -- inference latency is the Fig. 13 measurement itself; a mocked clock would measure nothing
 func measureOperateNs(pf sim.Prefetcher, accs []trace.Access) float64 {
 	const warmup, measured = 256, 2048
 	if len(accs) == 0 {

@@ -65,28 +65,55 @@ func NewRunner(opt Options) *Runner {
 // lifetime).
 type cell[T any] struct {
 	mu   sync.Mutex
+	wait chan struct{} // non-nil while a compute is in flight; closed when it settles
 	done bool
 	val  T
-	err  error
 }
 
 // get returns the cached value, computing it inside a resilience boundary
 // when absent: a panic anywhere in the compute function surfaces as a
 // *resilience.PanicError instead of killing the process.
+//
+// The compute runs OUTSIDE the cell lock: the first caller claims the
+// flight by installing c.wait, concurrent callers block on that channel,
+// and when the flight settles they re-check the cache (retrying the
+// compute themselves if it failed). The lock only ever guards field
+// access, so a panicking compute cannot strand it and the recovery
+// boundary never extends a critical section.
 func (c *cell[T]) get(boundary string, compute func() (T, error)) (T, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.done {
-		return c.val, c.err
+	for {
+		c.mu.Lock()
+		if c.done {
+			v := c.val
+			c.mu.Unlock()
+			return v, nil
+		}
+		if w := c.wait; w != nil {
+			c.mu.Unlock()
+			<-w
+			continue
+		}
+		w := make(chan struct{})
+		c.wait = w
+		c.mu.Unlock()
+
+		val, err := resilience.GuardVal(boundary, compute)
+
+		c.mu.Lock()
+		if err == nil {
+			c.val = val
+			c.done = true
+		}
+		c.wait = nil
+		c.mu.Unlock()
+		close(w)
+
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		return val, nil
 	}
-	val, err := resilience.GuardVal(boundary, compute)
-	if err != nil {
-		var zero T
-		return zero, err
-	}
-	c.val, c.err = val, nil
-	c.done = true
-	return c.val, nil
 }
 
 // getCell returns (creating if needed) the cell for key in m, under mu.

@@ -195,24 +195,7 @@ func (in *Injector) Fire(point Point) error {
 	if in == nil {
 		return nil
 	}
-	in.mu.Lock()
-	a := in.arms[point]
-	if a == nil {
-		in.mu.Unlock()
-		return nil
-	}
-	in.hits[point]++
-	hit := in.hits[point]
-	trigger := false
-	if a.at > 0 {
-		trigger = hit == a.at
-	} else {
-		trigger = in.rng.Float64() < a.prob
-	}
-	if trigger {
-		in.fired[point]++
-	}
-	in.mu.Unlock()
+	a, hit, trigger := in.evalHit(point)
 	if !trigger {
 		return nil
 	}
@@ -221,6 +204,30 @@ func (in *Injector) Fire(point Point) error {
 		panic(ie) //mpgraph:allow panicpolicy -- fault injection: the armed panic exists to exercise recovery boundaries
 	}
 	return ie
+}
+
+// evalHit records the hit under the lock and decides whether the armed
+// fault triggers. The deferred unlock keeps the counters consistent even
+// if the probability draw panics; the panic/return paths of Fire itself
+// stay outside the critical section.
+func (in *Injector) evalHit(point Point) (a *arm, hit uint64, trigger bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a = in.arms[point]
+	if a == nil {
+		return nil, 0, false
+	}
+	in.hits[point]++
+	hit = in.hits[point]
+	if a.at > 0 {
+		trigger = hit == a.at
+	} else {
+		trigger = in.rng.Float64() < a.prob
+	}
+	if trigger {
+		in.fired[point]++
+	}
+	return a, hit, trigger
 }
 
 // Hits reports how many times point has been reached.

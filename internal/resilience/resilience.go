@@ -36,7 +36,7 @@ func (e *PanicError) Error() string {
 
 // Guard runs fn and converts a panic into a *PanicError instead of letting
 // it unwind past the boundary. It is the designated panic boundary the
-// goroutineguard analyzer looks for: goroutine bodies in the long-running
+// golifetime analyzer looks for: goroutine bodies in the long-running
 // packages must route their work through Guard (or a function documented
 // with the mpgraph:recovers marker) so one poisoned worker cannot kill a
 // whole sweep.

@@ -1,8 +1,10 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -321,8 +323,50 @@ func shouldParallel(rows, flops int) bool {
 	return flops >= gemmParallelThreshold && workers > 1 && rows >= 2*workers
 }
 
+// workerFault captures the first panic raised inside a worker goroutine so
+// the spawning function can re-raise it on the caller's stack after the
+// WaitGroup join. Without it a panicking worker kills the process from a
+// goroutine no caller can recover around; tensor deliberately does not
+// import resilience (it sits below that package), so the boundary lives
+// here as a marked helper.
+type workerFault struct {
+	mu    sync.Mutex
+	val   any
+	stack []byte
+}
+
+// capture is deferred by every worker: it records the first panic (and its
+// stack) and lets the rest of the pool drain normally.
+//
+// mpgraph:recovers
+func (f *workerFault) capture() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.val == nil {
+		f.val = r
+		f.stack = debug.Stack()
+	}
+}
+
+// rethrow re-raises the captured worker panic, if any, on the spawner's
+// stack, where callers' usual recovery boundaries apply.
+//
+// mpgraph:invariant
+func (f *workerFault) rethrow() {
+	if f.val == nil {
+		return
+	}
+	panic(fmt.Sprintf("tensor: worker panic: %v\n%s", f.val, f.stack))
+}
+
 // parallelRows splits [0,rows) across workers when the flop estimate is
-// large enough.
+// large enough. Workers run behind a workerFault boundary and the join is
+// unconditional, so a panicking body neither kills the process from a
+// worker nor leaks a goroutine.
 func parallelRows(body func(r0, r1 int), rows, flops int) {
 	if !shouldParallel(rows, flops) {
 		body(0, rows)
@@ -334,6 +378,7 @@ func parallelRows(body func(r0, r1 int), rows, flops int) {
 	}
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
+	var fault workerFault
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -346,8 +391,10 @@ func parallelRows(body func(r0, r1 int), rows, flops int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer fault.capture()
 			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	fault.rethrow()
 }
