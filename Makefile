@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-self vet-fix-check test race bench bench-compare faultinject ci
+.PHONY: all build vet lint vet-self vet-fix-check test race bench bench-batch bench-compare faultinject ci
 
 all: build lint test
 
@@ -58,7 +58,7 @@ race:
 # once. Steps go through a file so a benchmark failure fails the target. For
 # published numbers rerun with a higher -benchtime and -count (DESIGN.md §8).
 bench:
-	$(GO) test ./internal/prefetch/ ./internal/core/ \
+	$(GO) test ./internal/prefetch/ ./internal/core/ ./internal/models/ \
 		-run xxx -bench 'BenchmarkOperate' -benchtime 300x \
 		> bench.out
 	$(GO) test ./internal/experiments/ \
@@ -67,13 +67,25 @@ bench:
 	$(GO) run ./cmd/mpgraph-bench -in bench.out -o BENCH_small.json
 	rm -f bench.out
 
+# bench-batch is the batched-tier smoke: run the OperateBatch{8,64}
+# float/int8 pairs once through mpgraph-bench (DESIGN.md §11). CI runs this
+# with -benchtime 1x and uploads the report; the committed BENCH_small.json
+# carries the 300x numbers via `make bench`.
+BENCH_BATCH_TIME ?= 1x
+bench-batch:
+	$(GO) test ./internal/models/ \
+		-run xxx -bench 'BenchmarkOperateBatch' -benchtime $(BENCH_BATCH_TIME) \
+		> bench-batch.out
+	$(GO) run ./cmd/mpgraph-bench -in bench-batch.out -o BENCH_batch.json
+	rm -f bench-batch.out
+
 # bench-compare is the perf-regression gate: rerun the Operate benchmarks
 # and fail if any fast-path benchmark is >15% slower in ns/op — or gains a
 # single allocation — against the committed BENCH_small.json. On a machine
 # that differs from the one the baseline was measured on, the ns/op check is
 # skipped (with a warning) and only allocation gains fail.
 bench-compare:
-	$(GO) test ./internal/prefetch/ ./internal/core/ \
+	$(GO) test ./internal/prefetch/ ./internal/core/ ./internal/models/ \
 		-run xxx -bench 'BenchmarkOperate' -benchtime 300x \
 		> bench-new.out
 	$(GO) run ./cmd/mpgraph-bench -in bench-new.out -o BENCH_new.json

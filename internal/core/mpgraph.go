@@ -36,6 +36,26 @@ type Options struct {
 	// global grad flag, so it must not run concurrently with training —
 	// it exists as the perf baseline the benchmarks compare against.
 	DisableFastPath bool
+	// Scheduler, when non-nil, routes every model call through an external
+	// batching tier (one session per MPGraph instance — see
+	// prefetch.BatchScheduler). Requires the fast path.
+	Scheduler ModelScheduler
+}
+
+// ModelScheduler is the structural seam to an external batched-inference
+// tier. core deliberately does not import the package providing it
+// (prefetch.BatchSession satisfies this); calls block until the scheduler
+// runs the fused round containing them, and returned slices stay valid until
+// the session's next call.
+type ModelScheduler interface {
+	// Join registers the session with the scheduler's flush watermark;
+	// Leave unregisters it so waiters never stall on a finished session.
+	Join()
+	Leave()
+	// DeltaScores returns the delta model's raw score vector for s.
+	DeltaScores(m models.DeltaModel, s *models.Sample) []float64
+	// TopPages appends the page model's top-k pages for s to dst.
+	TopPages(m models.PageModel, s *models.Sample, k int, dst []uint64) []uint64
 }
 
 // DefaultOptions mirrors Section 5.4.1: Ds=2, Dt=2, total degree 6.
@@ -106,6 +126,9 @@ func New(opt Options, historyT int, detector phasedet.Detector, deltas []models.
 	if !opt.OraclePhase && detector == nil {
 		return nil, fmt.Errorf("core: detector required unless OraclePhase")
 	}
+	if opt.Scheduler != nil && opt.DisableFastPath {
+		return nil, fmt.Errorf("core: Scheduler requires the fast path (DisableFastPath must be false)")
+	}
 	if opt.InferEvery <= 0 {
 		opt.InferEvery = 1
 	}
@@ -139,6 +162,39 @@ func (m *MPGraph) Phase() int { return m.phase }
 // Health implements sim.HealthReporter: nil until score screening detects a
 // non-finite model output, then the first such defect.
 func (m *MPGraph) Health() error { return m.health }
+
+// JoinBatch registers this instance's scheduler session with the batch flush
+// watermark (no-op without a scheduler).
+func (m *MPGraph) JoinBatch() {
+	if m.opt.Scheduler != nil {
+		m.opt.Scheduler.Join()
+	}
+}
+
+// LeaveBatch unregisters the scheduler session (no-op without a scheduler).
+func (m *MPGraph) LeaveBatch() {
+	if m.opt.Scheduler != nil {
+		m.opt.Scheduler.Leave()
+	}
+}
+
+// deltaTargetsAppend is the one delta decode cstp and probation use: through
+// the batch scheduler when one is attached, the in-process path otherwise.
+// Either way the scores decode via models.AppendDeltaTargets on m.ctx.
+func (m *MPGraph) deltaTargetsAppend(dm models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) ([]uint64, error) {
+	if m.opt.Scheduler != nil {
+		return models.AppendDeltaTargets(m.ctx, m.opt.Scheduler.DeltaScores(dm, s), base, k, dst)
+	}
+	return topDeltaBlocksAppend(m.ctx, dm, s, base, k, dst)
+}
+
+// topPages is the page-model counterpart of deltaTargetsAppend.
+func (m *MPGraph) topPages(pm models.PageModel, s *models.Sample, k int, dst []uint64) []uint64 {
+	if m.opt.Scheduler != nil {
+		return m.opt.Scheduler.TopPages(pm, s, k, dst)
+	}
+	return models.TopPagesWith(m.ctx, pm, s, k, dst)
+}
 
 func (m *MPGraph) recordHealth(err error) {
 	if m.health == nil {
@@ -208,7 +264,7 @@ func (m *MPGraph) cstp(block uint64) []uint64 {
 
 	// Step 0: spatial deltas at the current block.
 	var err error
-	m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
+	m.deltaBuf, err = m.deltaTargetsAppend(delta, sample, block, m.opt.SpatialDegree, m.deltaBuf[:0])
 	if err != nil {
 		m.recordHealth(err)
 	}
@@ -221,7 +277,7 @@ func (m *MPGraph) cstp(block uint64) []uint64 {
 	// the temporal depth runs out.
 	cur := sample
 	for step := 0; step < m.opt.TemporalDegree; step++ {
-		m.pageBuf = models.TopPagesWith(m.ctx, page, cur, 1, m.pageBuf[:0])
+		m.pageBuf = m.topPages(page, cur, 1, m.pageBuf[:0])
 		if len(m.pageBuf) == 0 {
 			break
 		}
@@ -237,7 +293,7 @@ func (m *MPGraph) cstp(block uint64) []uint64 {
 		} else {
 			cur = m.hist.SampleWithTailInto(&m.tailScratch, m.phase, base, entry.PC)
 		}
-		m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		m.deltaBuf, err = m.deltaTargetsAppend(delta, cur, base, m.opt.SpatialDegree, m.deltaBuf[:0])
 		if err != nil {
 			m.recordHealth(err)
 		}
@@ -299,7 +355,7 @@ func (m *MPGraph) feedProbe() {
 			s = m.hist.SampleInto(&m.sampScratch, p)
 		}
 		var err error
-		m.deltaBuf, err = topDeltaBlocksAppend(m.ctx, dm, s, base, m.opt.SpatialDegree, m.deltaBuf[:0])
+		m.deltaBuf, err = m.deltaTargetsAppend(dm, s, base, m.opt.SpatialDegree, m.deltaBuf[:0])
 		if err != nil {
 			m.recordHealth(err)
 		}

@@ -194,21 +194,5 @@ func (m *PerCoreMPGraph) cstp(c int, block uint64) []uint64 {
 // unmodified alongside the error so callers can record the health defect
 // instead of issuing prefetches ranked by NaN.
 func topDeltaBlocksAppend(c *tensor.Ctx, model models.DeltaModel, s *models.Sample, base uint64, k int, dst []uint64) ([]uint64, error) {
-	scores := models.DeltaScoresWith(c, model, s)
-	if err := models.ScreenScores(scores); err != nil {
-		return dst, err
-	}
-	rangeHalf := len(scores) / 2
-	for _, cls := range models.TopKClassesCtx(c, scores, k) {
-		var d int64
-		if cls < rangeHalf {
-			d = int64(cls) - int64(rangeHalf)
-		} else {
-			d = int64(cls-rangeHalf) + 1
-		}
-		if t := int64(base) + d; t >= 0 {
-			dst = append(dst, uint64(t))
-		}
-	}
-	return dst, nil
+	return models.AppendDeltaTargets(c, models.DeltaScoresWith(c, model, s), base, k, dst)
 }

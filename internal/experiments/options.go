@@ -74,6 +74,13 @@ type Options struct {
 	// when DisableFastPath is set — the int8 kernels live on the arena fast
 	// path, so the legacy autograd path always scores in float.
 	Int8 bool
+	// Batch > 0 routes every ML prefetcher's model calls through one shared
+	// batched-inference scheduler that fuses up to Batch concurrent requests
+	// per GEMM round (prefetch.BatchScheduler). The batched kernels are
+	// composition-independent, so sweep reports stay byte-identical at any
+	// Batch value and worker count. Requires the fast path: combining Batch
+	// with DisableFastPath is a configuration error.
+	Batch int
 }
 
 // DefaultOptions returns the small-scale configuration.
@@ -130,6 +137,16 @@ func (o Options) SimConfig() sim.Config {
 	cfg.L2Sets = 128  // 64 KB
 	cfg.LLCSets = 256 // 256 KB
 	return cfg
+}
+
+// validateBatch rejects option combinations the batched inference tier
+// cannot serve: the scheduler decodes through the arena fast path, so the
+// legacy autograd path cannot participate.
+func (o Options) validateBatch() error {
+	if o.Batch > 0 && o.DisableFastPath {
+		return fmt.Errorf("experiments: Batch=%d requires the fast path (unset DisableFastPath)", o.Batch)
+	}
+	return nil
 }
 
 // workers resolves the scheduler's pool size: Workers, defaulting to

@@ -35,6 +35,11 @@ type Runner struct {
 	store     *resilience.Store
 	storeErr  error
 
+	// batchSched is the sweep-wide batched-inference scheduler, created
+	// lazily when Options.Batch > 0 and shared by every ML prefetcher the
+	// runner assembles.
+	batchSched *prefetch.BatchScheduler
+
 	sweepRows  map[string][]prefetchRow
 	sweepOrder []string
 }
@@ -126,6 +131,20 @@ func getCell[K comparable, T any](mu *sync.Mutex, m map[K]*cell[T], key K) *cell
 		m[key] = c
 	}
 	return c
+}
+
+// scheduler returns the shared batched-inference scheduler (nil when
+// batching is off), creating it on first use.
+func (r *Runner) scheduler() *prefetch.BatchScheduler {
+	if r.Opt.Batch <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.batchSched == nil {
+		r.batchSched = prefetch.NewBatchScheduler(r.Opt.Batch)
+	}
+	return r.batchSched
 }
 
 // WorkloadData is everything derived from one workload trace.
@@ -389,12 +408,15 @@ func (r *Runner) buildDataset(cfg models.Config, stream []trace.Access, share *m
 // panics, non-finite scores, out-of-range blocks); a healthy guard is
 // transparent, so guarded and unguarded sweeps print identical reports.
 func (r *Runner) Prefetchers(w Workload) ([]sim.Prefetcher, error) {
+	if err := r.Opt.validateBatch(); err != nil {
+		return nil, err
+	}
 	s, err := r.Suite(w)
 	if err != nil {
 		return nil, err
 	}
 	T := s.Cfg.HistoryT
-	mlOpt := prefetch.MLOptions{Degree: 6, DisableFastPath: r.Opt.DisableFastPath}
+	mlOpt := prefetch.MLOptions{Degree: 6, DisableFastPath: r.Opt.DisableFastPath, Scheduler: r.scheduler()}
 
 	mp, err := r.MPGraph(w, core.DefaultOptions())
 	if err != nil {
@@ -450,12 +472,20 @@ func (r *Runner) quantizedPS(w Workload) (*qpair, error) {
 // options: per-phase AMMA predictors plus a Soft-KSWIN detector. Under
 // Options.Int8 the per-phase models are the calibrated int8 mirrors.
 func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
+	if err := r.Opt.validateBatch(); err != nil {
+		return nil, err
+	}
 	s, err := r.Suite(w)
 	if err != nil {
 		return nil, err
 	}
 	if r.Opt.DisableFastPath {
 		opt.DisableFastPath = true
+	}
+	if sched := r.scheduler(); sched != nil {
+		// One session per MPGraph instance; core talks to it through its
+		// ModelScheduler seam (no core→prefetch dependency).
+		opt.Scheduler = sched.NewSession()
 	}
 	psDelta, psPage := s.PSDelta, s.PSPage
 	if r.Opt.Int8 && !r.Opt.DisableFastPath {

@@ -116,3 +116,46 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 		t.Fatal("parallel sweep report is not byte-identical to serial")
 	}
 }
+
+// TestSweepBatchByteIdentical reruns the sweep with the batched inference
+// tier at every batch size and worker count and requires byte-identical
+// rendered reports — the scheduler's composition-independence contract,
+// end to end. Under -race this doubles as the concurrency gate for the
+// batch tier.
+func TestSweepBatchByteIdentical(t *testing.T) {
+	origW, origB := shared.Opt.Workers, shared.Opt.Batch
+	defer func() {
+		shared.Opt.Workers, shared.Opt.Batch = origW, origB
+		shared.batchSched = nil
+	}()
+
+	render := func(rows map[string][]prefetchRow, order []string) []byte {
+		var buf bytes.Buffer
+		printPrefetchTable(&buf, rows, order, func(r prefetchRow) float64 { return r.Metrics.Accuracy() })
+		printPrefetchTable(&buf, rows, order, func(r prefetchRow) float64 { return r.Metrics.Coverage() })
+		printPrefetchTable(&buf, rows, order, func(r prefetchRow) float64 { return r.Metrics.IPCImprovement(r.Baseline) })
+		return buf.Bytes()
+	}
+
+	var want []byte
+	for _, batch := range []int{1, 8, 64} {
+		for _, workers := range []int{1, 4} {
+			shared.Opt.Batch, shared.Opt.Workers = batch, workers
+			// Fresh scheduler per configuration: the cached one was built
+			// for the previous batch size.
+			shared.batchSched = nil
+			rows, order, err := computePrefetchSweep(shared)
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+			}
+			got := render(rows, order)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("batch=%d workers=%d: sweep report differs from batch=1 workers=1", batch, workers)
+			}
+		}
+	}
+}

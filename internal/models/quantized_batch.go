@@ -1,0 +1,70 @@
+package models
+
+import "mpgraph/internal/tensor"
+
+// Batched int8 forwards. These MUST override the float batch methods the
+// Q-models would otherwise inherit from their embedded float models, and
+// they use only the exact kernels (per-row int8 GEMM, exact softmax/sigmoid,
+// block-exact attention and mean): the int8 batch contract is bit-identity
+// with sequential int8 inference, not 1e-9 closeness.
+
+//mpgraph:noalloc
+func (m *qModalityEncoder) encodeFeaturesBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	return m.attn.ForwardBatchCtx(c, c.AddPosBatch(m.lin.ForwardCtx(c, x), m.src.pos, blocks), blocks)
+}
+
+//mpgraph:noalloc
+func (m *qModalityEncoder) encodeTokensBatchCtx(c *tensor.Ctx, ids []int, blocks int) *tensor.Tensor {
+	return m.attn.ForwardBatchCtx(c, c.AddPosBatch(m.src.table.ForwardCtx(c, ids), m.src.pos, blocks), blocks)
+}
+
+// forwardBatchCtx is qAMMACore.forwardCtx over a stacked batch.
+//
+//mpgraph:noalloc
+func (qc *qAMMACore) forwardBatchCtx(c *tensor.Ctx, encA, encB *tensor.Tensor, ss []*Sample) *tensor.Tensor {
+	blocks := len(ss)
+	fused := qc.fusion.ForwardBatchCtx2(c, encA, encB, blocks) //mpgraph:allow noalloc -- fixed-arity fast path; the cross-package naming rule keys on a Ctx suffix
+	if qc.src.phaseEmb != nil {
+		ids := phaseIDsBatch(c, ss, qc.src.phaseEmb.Vocab()) //mpgraph:allow noalloc -- Vocab is a field read
+		fused = c.AddRowPerBlock(fused, qc.src.phaseEmb.Table, ids, blocks)
+	}
+	for _, tl := range qc.trans {
+		fused = tl.ForwardBatchCtx(c, fused, blocks)
+	}
+	return c.MeanRowsBatch(fused, blocks)
+}
+
+//mpgraph:noalloc
+func (m *QAMMADelta) qlogitsBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.Tensor {
+	t := batchT(ss)
+	encA := m.qcore.modA.encodeFeaturesBatchCtx(c, addrFeatureTensorBatchCtx(c, m.cfg, ss, t), len(ss))
+	encB := m.qcore.modB.encodeTokensBatchCtx(c, pcTokensBatchCtx(c, m.pcs, ss, t), len(ss))
+	return m.qhead.ForwardCtx(c, m.qcore.forwardBatchCtx(c, encA, encB, ss))
+}
+
+// DeltaScoresBatchCtx implements DeltaScorerBatchCtx on the int8 path; the
+// exact SigmoidInPlace keeps batch output bit-identical to sequential int8.
+//
+//mpgraph:noalloc
+func (m *QAMMADelta) DeltaScoresBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.Tensor {
+	return c.SigmoidInPlace(m.qlogitsBatchCtx(c, ss))
+}
+
+//mpgraph:noalloc
+func (m *QAMMAPage) qlogitsBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.Tensor {
+	t := batchT(ss)
+	encA := m.qcore.modA.encodeTokensBatchCtx(c, pageTokensBatchCtx(c, m.pages, ss, t), len(ss))
+	encB := m.qcore.modB.encodeTokensBatchCtx(c, pcTokensBatchCtx(c, m.pcs, ss, t), len(ss))
+	return m.qhead.ForwardCtx(c, m.qcore.forwardBatchCtx(c, encA, encB, ss))
+}
+
+// TopPagesBatchAppendCtx implements PageTopperBatchCtx on the int8 path.
+//
+//mpgraph:noalloc
+func (m *QAMMAPage) TopPagesBatchAppendCtx(c *tensor.Ctx, ss []*Sample, k int, dst [][]uint64) {
+	scores := m.qlogitsBatchCtx(c, ss)
+	for i := range ss {
+		row := scores.Data[i*scores.Cols : (i+1)*scores.Cols]
+		dst[i] = topPagesAppendCtx(c, m.pages, row, k, dst[i])
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+
+	"mpgraph/internal/tensor"
+)
+
+// ForwardBatchCtx plumbing: every layer that is not purely row-wise gets a
+// batch-aware forward over a stacked [blocks*T x d] tensor, one session per
+// block of rows. Row-wise layers (Linear, LayerNorm, Embedding, FFN, MLP)
+// are batch-oblivious — their batched forward is the same kernel at more
+// rows, routed through the batched GEMM so the weight panel streams through
+// cache once for the whole batch.
+
+// ForwardBatchCtx applies the layer to a stacked activation block through
+// the batched panel kernels.
+//
+//mpgraph:noalloc
+func (l *Linear) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	return c.LinearActBatch(x, l.W, l.B, tensor.ActNone)
+}
+
+// ForwardBatchCtx attends independently inside each of the `blocks` session
+// blocks of the stacked sequence.
+//
+//mpgraph:noalloc
+func (s *SelfAttention) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	q := c.LinearActBatch(x, s.Wq.W, s.Wq.B, tensor.ActNone)
+	k := c.LinearActBatch(x, s.Wk.W, s.Wk.B, tensor.ActNone)
+	v := c.LinearActBatch(x, s.Wv.W, s.Wv.B, tensor.ActNone)
+	return c.AttentionBlocks(q, k, v, blocks, 1/math.Sqrt(float64(s.dim)), false)
+}
+
+// ForwardBatchCtx runs every head over the stacked block and reprojects.
+//
+//mpgraph:noalloc
+func (m *MultiHeadSelfAttention) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	outs := c.Ptrs(len(m.Heads))
+	for i, h := range m.Heads {
+		outs[i] = h.ForwardBatchCtx(c, x, blocks)
+	}
+	return m.Wo.ForwardBatchCtx(c, c.ConcatCols(outs...))
+}
+
+// ForwardBatchCtx applies the FFN over the stacked block with the ReLU fused
+// into the first batched GEMM.
+//
+//mpgraph:noalloc
+func (f *FFN) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	return f.L2.ForwardBatchCtx(c, c.LinearActBatch(x, f.L1.W, f.L1.B, tensor.ActReLU))
+}
+
+// ForwardBatchCtx applies the layer to the stacked block; attention respects
+// session boundaries, residuals and norms are row-wise.
+//
+//mpgraph:noalloc
+func (t *TransformerLayer) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	x = t.N1.ForwardCtx(c, c.Add(x, t.MSA.ForwardBatchCtx(c, x, blocks)))
+	return t.N2.ForwardCtx(c, c.Add(x, t.FF.ForwardBatchCtx(c, x)))
+}
+
+// ForwardBatchCtx2 fuses two stacked modality sequences block by block —
+// the batched AMMA fusion.
+//
+//mpgraph:noalloc
+func (m *MMAF) ForwardBatchCtx2(c *tensor.Ctx, a, b *tensor.Tensor, blocks int) *tensor.Tensor {
+	return m.Attn.ForwardBatchCtx(c, c.ConcatRowsBatch2(a, b, blocks), blocks)
+}
+
+// ForwardBatchCtx applies the MLP to the stacked block through the batched
+// GEMMs.
+//
+//mpgraph:noalloc
+func (m *MLP) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor) *tensor.Tensor {
+	for i, l := range m.Layers {
+		act := tensor.ActReLU
+		if i+1 == len(m.Layers) {
+			act = tensor.ActNone
+		}
+		x = c.LinearActBatch(x, l.W, l.B, act)
+	}
+	return x
+}
+
+// ForwardBatchCtx consumes `blocks` stacked sequences step-synchronously:
+// at each timestep the per-session rows are gathered into one [blocks x in]
+// block so all four gates run as true batched GEMMs against the recurrent
+// state block, and the cell update is one fused loop with a vectorized tanh.
+// Returns the final hidden states [blocks x hidden].
+//
+//mpgraph:noalloc
+func (l *LSTM) ForwardBatchCtx(ctx *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	t := x.Rows / blocks
+	h := ctx.Zeros(blocks, l.Hidden)
+	c := ctx.Zeros(blocks, l.Hidden)
+	for step := 0; step < t; step++ {
+		xt := ctx.GatherRowsStride(x, step, t, blocks)
+		i := ctx.Linear2ActBatch(xt, l.Wxi, h, l.Whi, l.Bi, tensor.ActSigmoid)
+		f := ctx.Linear2ActBatch(xt, l.Wxf, h, l.Whf, l.Bf, tensor.ActSigmoid)
+		g := ctx.Linear2ActBatch(xt, l.Wxg, h, l.Whg, l.Bg, tensor.ActTanh)
+		o := ctx.Linear2ActBatch(xt, l.Wxo, h, l.Who, l.Bo, tensor.ActSigmoid)
+		for j := range c.Data {
+			cv := f.Data[j]*c.Data[j] + i.Data[j]*g.Data[j]
+			c.Data[j] = cv
+			h.Data[j] = cv
+		}
+		tensor.ApplyActFast(h.Data, tensor.ActTanh) //mpgraph:allow noalloc -- in-place over the arena row; the cross-package naming rule keys on Ctx/Into suffixes
+		for j := range h.Data {
+			h.Data[j] *= o.Data[j]
+		}
+	}
+	return h
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math"
+
+	"mpgraph/internal/tensor"
+)
+
+// Batched forwards for the int8 mirror layers. The quantized per-row kernels
+// (QuantizeActs, QLinearActQ, QMLP) are batch-oblivious: each output row is
+// an exact int32 dot of its own quantized activation row, so they run on the
+// stacked block unchanged. Only attention must know the session boundary,
+// and it uses AttentionBlocks in exact mode — per block it executes the
+// identical float score/softmax/AV sequence as the sequential path, which is
+// why the batched int8 tier is bit-identical to sequential int8 inference.
+
+// ForwardBatchCtx attends independently inside each session block of the
+// stacked sequence through the int8 projection kernels.
+//
+//mpgraph:noalloc
+func (s *QSelfAttention) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	if s.src != nil {
+		s.in.Observe(x.Data)
+		return s.src.ForwardBatchCtx(c, x, blocks)
+	}
+	xq := c.QuantizeActs(x, s.scale)
+	q := c.QLinearActQ(xq, x.Rows, s.scale, s.Wq, s.bq, tensor.ActNone)
+	k := c.QLinearActQ(xq, x.Rows, s.scale, s.Wk, s.bk, tensor.ActNone)
+	v := c.QLinearActQ(xq, x.Rows, s.scale, s.Wv, s.bv, tensor.ActNone)
+	return c.AttentionBlocks(q, k, v, blocks, 1/math.Sqrt(float64(s.dim)), true)
+}
+
+// ForwardBatchCtx runs every int8 head over the stacked block and
+// reprojects through the (batch-oblivious) int8 output projection.
+//
+//mpgraph:noalloc
+func (m *QMultiHeadSelfAttention) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	outs := c.Ptrs(len(m.Heads))
+	for i, h := range m.Heads {
+		outs[i] = h.ForwardBatchCtx(c, x, blocks)
+	}
+	return m.Wo.ForwardCtx(c, c.ConcatCols(outs...))
+}
+
+// ForwardBatchCtx applies the int8 layer to the stacked block; residuals and
+// the shared float layer norms are row-wise and need no batch form.
+//
+//mpgraph:noalloc
+func (t *QTransformerLayer) ForwardBatchCtx(c *tensor.Ctx, x *tensor.Tensor, blocks int) *tensor.Tensor {
+	x = t.n1.ForwardCtx(c, c.Add(x, t.MSA.ForwardBatchCtx(c, x, blocks)))
+	return t.n2.ForwardCtx(c, c.Add(x, t.FF.ForwardCtx(c, x)))
+}
+
+// ForwardBatchCtx2 fuses two stacked modality sequences block by block
+// through the int8 fusion attention.
+//
+//mpgraph:noalloc
+func (m *QMMAF) ForwardBatchCtx2(c *tensor.Ctx, a, b *tensor.Tensor, blocks int) *tensor.Tensor {
+	return m.Attn.ForwardBatchCtx(c, c.ConcatRowsBatch2(a, b, blocks), blocks)
+}

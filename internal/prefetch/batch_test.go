@@ -1,0 +1,140 @@
+package prefetch
+
+import (
+	"sync"
+	"testing"
+
+	"mpgraph/internal/models"
+	"mpgraph/internal/sim"
+)
+
+// batchPF is the surface a batched sweep worker drives.
+type batchPF interface {
+	sim.Prefetcher
+	JoinBatch()
+	LeaveBatch()
+}
+
+// buildWorkerPF gives worker w a fixed prefetcher identity (cycling the three
+// ML baselines so every scheduler round mixes delta and page models).
+func buildWorkerPF(w int, delta models.DeltaModel, page models.PageModel, historyT int, opt MLOptions) batchPF {
+	switch w % 3 {
+	case 0:
+		return NewDeltaLSTM(delta, historyT, opt)
+	case 1:
+		return NewTransFetch(delta, historyT, opt)
+	default:
+		return NewVoyager(page, delta, historyT, opt)
+	}
+}
+
+// workerAccess is worker w's deterministic access stream, fixed by w alone so
+// the worker's outputs must be identical under any worker count or batch
+// size.
+func workerAccess(w, i int) sim.LLCAccess {
+	return sim.LLCAccess{
+		Block: uint64(4096*(w+1) + i + i%3),
+		PC:    0x40 * uint64((w+i)%3),
+	}
+}
+
+// runBatchWorkers simulates nWorkers concurrent prefetcher sessions through
+// one shared BatchScheduler and returns each worker's full output sequence.
+func runBatchWorkers(t *testing.T, delta models.DeltaModel, page models.PageModel, historyT, nWorkers, batch, accesses int) [][][]uint64 {
+	t.Helper()
+	sched := NewBatchScheduler(batch)
+	opt := MLOptions{Degree: 6, Scheduler: sched}
+	results := make([][][]uint64, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		pf := buildWorkerPF(w, delta, page, historyT, opt)
+		wg.Add(1)
+		go func(w int, pf batchPF) {
+			defer wg.Done()
+			pf.JoinBatch()
+			defer pf.LeaveBatch()
+			for i := 0; i < accesses; i++ {
+				out := pf.Operate(workerAccess(w, i))
+				results[w] = append(results[w], append([]uint64(nil), out...))
+			}
+		}(w, pf)
+	}
+	wg.Wait()
+	return results
+}
+
+// TestBatchSchedulerByteIdentical: worker w's prefetch sequence is a pure
+// function of its own stream — the shared scheduler's grouping under
+// scheduling races must never leak into results. Run with -race in CI.
+func TestBatchSchedulerByteIdentical(t *testing.T) {
+	ds, delta, page := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	const accesses = 60
+
+	ref := runBatchWorkers(t, delta, page, T, 8, 1, accesses)
+	for _, nWorkers := range []int{1, 4, 8} {
+		for _, batch := range []int{1, 8, 64} {
+			got := runBatchWorkers(t, delta, page, T, nWorkers, batch, accesses)
+			for w := 0; w < nWorkers; w++ {
+				if len(got[w]) != len(ref[w]) {
+					t.Fatalf("workers=%d batch=%d: worker %d made %d calls, ref %d",
+						nWorkers, batch, w, len(got[w]), len(ref[w]))
+				}
+				for i := range got[w] {
+					if len(got[w][i]) != len(ref[w][i]) {
+						t.Fatalf("workers=%d batch=%d worker %d access %d: %v != ref %v",
+							nWorkers, batch, w, i, got[w][i], ref[w][i])
+					}
+					for j := range got[w][i] {
+						if got[w][i][j] != ref[w][i][j] {
+							t.Fatalf("workers=%d batch=%d worker %d access %d: %v != ref %v",
+								nWorkers, batch, w, i, got[w][i], ref[w][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchUnjoinedSessionFlushesImmediately: a session that submits without
+// Join (e.g. an ablation running a single prefetcher serially) must not
+// deadlock — the watermark clamps to one outstanding request.
+func TestBatchUnjoinedSessionFlushesImmediately(t *testing.T) {
+	ds, delta, _ := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	sched := NewBatchScheduler(64)
+	pf := NewDeltaLSTM(delta, T, MLOptions{Degree: 6, Scheduler: sched})
+	var out []uint64
+	for i := 0; i < T+5; i++ {
+		out = pf.Operate(workerAccess(0, i))
+	}
+	if len(out) == 0 {
+		t.Fatal("unjoined batch session produced no prefetches after warm-up")
+	}
+}
+
+// TestBatchMatchesUnbatchedPrefetches: the batch tier must agree with the
+// in-process fast path on the decoded prefetch targets (both decode the same
+// model through kernels equal to 1e-9, and top-k decisions on these trained
+// models are stable at that tolerance).
+func TestBatchMatchesUnbatchedPrefetches(t *testing.T) {
+	ds, delta, page := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	const accesses = 60
+	batched := runBatchWorkers(t, delta, page, T, 3, 8, accesses)
+	for w := 0; w < 3; w++ {
+		pf := buildWorkerPF(w, delta, page, T, MLOptions{Degree: 6})
+		for i := 0; i < accesses; i++ {
+			out := pf.Operate(workerAccess(w, i))
+			if len(out) != len(batched[w][i]) {
+				t.Fatalf("%s access %d: batched %v vs unbatched %v", pf.Name(), i, batched[w][i], out)
+			}
+			for j := range out {
+				if out[j] != batched[w][i][j] {
+					t.Fatalf("%s access %d: batched %v vs unbatched %v", pf.Name(), i, batched[w][i], out)
+				}
+			}
+		}
+	}
+}

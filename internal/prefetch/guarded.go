@@ -81,6 +81,24 @@ func (g *Guarded) InferenceLatencyCycles() uint64 {
 	return 0
 }
 
+// JoinBatch forwards batch-scheduler registration to the primary when it
+// participates in batched inference (heuristic fallbacks never do). A
+// quarantined primary stays joined but silent until LeaveBatch; the
+// scheduler's watermark tolerates that — its cell still finishes on the
+// fallback and leaves, at which point waiters flush.
+func (g *Guarded) JoinBatch() {
+	if j, ok := g.primary.(interface{ JoinBatch() }); ok {
+		j.JoinBatch()
+	}
+}
+
+// LeaveBatch forwards batch-scheduler deregistration to the primary.
+func (g *Guarded) LeaveBatch() {
+	if l, ok := g.primary.(interface{ LeaveBatch() }); ok {
+		l.LeaveBatch()
+	}
+}
+
 // Quarantined reports whether the primary has been benched.
 func (g *Guarded) Quarantined() bool { return g.quarantined }
 

@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"mpgraph/internal/invariant"
 	"mpgraph/internal/models"
 	"mpgraph/internal/sim"
 	"mpgraph/internal/tensor"
@@ -23,6 +24,10 @@ type MLOptions struct {
 	// global grad flag, so it must not run concurrently with training —
 	// it exists as the perf baseline the benchmarks compare against.
 	DisableFastPath bool
+	// Scheduler, when non-nil, routes model calls through a shared
+	// BatchScheduler so concurrent sweep workers share fused inference
+	// rounds. Requires the fast path (incompatible with DisableFastPath).
+	Scheduler *BatchScheduler
 }
 
 func (o MLOptions) withDefaults() MLOptions {
@@ -41,6 +46,17 @@ func (o MLOptions) newCtx() *tensor.Ctx {
 		return nil
 	}
 	return tensor.NewCtx()
+}
+
+// newSession attaches the prefetcher to the shared batch scheduler, if any.
+// The batched tier decodes with the arena fast path, so combining a scheduler
+// with the legacy path is a construction defect.
+func (o MLOptions) newSession() *BatchSession {
+	if o.Scheduler == nil {
+		return nil
+	}
+	invariant.Check(!o.DisableFastPath, "prefetch: Scheduler requires the fast path (DisableFastPath must be false)")
+	return o.Scheduler.NewSession()
 }
 
 // inferGate bundles the warmup/throttle logic shared by every ML
@@ -70,6 +86,7 @@ type DeltaLSTM struct {
 	model   models.DeltaModel
 	gate    inferGate
 	ctx     *tensor.Ctx
+	sess    *BatchSession
 	scratch models.Sample
 	out     []uint64
 	health  error
@@ -78,7 +95,7 @@ type DeltaLSTM struct {
 // NewDeltaLSTM wraps a trained delta model (expected: models.LSTMDelta).
 func NewDeltaLSTM(model models.DeltaModel, historyT int, opt MLOptions) *DeltaLSTM {
 	opt = opt.withDefaults()
-	return &DeltaLSTM{opt: opt, model: model, gate: newInferGate(historyT, opt.InferEvery), ctx: opt.newCtx()}
+	return &DeltaLSTM{opt: opt, model: model, gate: newInferGate(historyT, opt.InferEvery), ctx: opt.newCtx(), sess: opt.newSession()}
 }
 
 // Name implements sim.Prefetcher.
@@ -89,6 +106,13 @@ func (p *DeltaLSTM) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles
 
 // Health implements sim.HealthReporter.
 func (p *DeltaLSTM) Health() error { return p.health }
+
+// JoinBatch registers this prefetcher's session with the shared batch
+// scheduler's flush watermark (no-op without a scheduler).
+func (p *DeltaLSTM) JoinBatch() { p.sess.join() }
+
+// LeaveBatch unregisters the session (no-op without a scheduler).
+func (p *DeltaLSTM) LeaveBatch() { p.sess.leave() }
 
 // Operate implements sim.Prefetcher.
 func (p *DeltaLSTM) Operate(acc sim.LLCAccess) []uint64 {
@@ -105,7 +129,12 @@ func (p *DeltaLSTM) Operate(acc sim.LLCAccess) []uint64 {
 	defer p.ctx.Reset()
 	s := p.gate.hist.SampleInto(&p.scratch, 0)
 	var err error
-	p.out, err = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	if p.sess != nil {
+		scores := p.sess.DeltaScores(p.model, s)
+		p.out, err = models.AppendDeltaTargets(p.ctx, scores, acc.Block, p.opt.Degree, p.out[:0])
+	} else {
+		p.out, err = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	}
 	p.health = keepFirst(p.health, err)
 	return p.out
 }
@@ -117,6 +146,7 @@ type TransFetch struct {
 	model   models.DeltaModel
 	gate    inferGate
 	ctx     *tensor.Ctx
+	sess    *BatchSession
 	scratch models.Sample
 	out     []uint64
 	health  error
@@ -125,7 +155,7 @@ type TransFetch struct {
 // NewTransFetch wraps a trained delta model (expected: models.AttnDelta).
 func NewTransFetch(model models.DeltaModel, historyT int, opt MLOptions) *TransFetch {
 	opt = opt.withDefaults()
-	return &TransFetch{opt: opt, model: model, gate: newInferGate(historyT, opt.InferEvery), ctx: opt.newCtx()}
+	return &TransFetch{opt: opt, model: model, gate: newInferGate(historyT, opt.InferEvery), ctx: opt.newCtx(), sess: opt.newSession()}
 }
 
 // Name implements sim.Prefetcher.
@@ -136,6 +166,13 @@ func (p *TransFetch) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycle
 
 // Health implements sim.HealthReporter.
 func (p *TransFetch) Health() error { return p.health }
+
+// JoinBatch registers this prefetcher's session with the shared batch
+// scheduler's flush watermark (no-op without a scheduler).
+func (p *TransFetch) JoinBatch() { p.sess.join() }
+
+// LeaveBatch unregisters the session (no-op without a scheduler).
+func (p *TransFetch) LeaveBatch() { p.sess.leave() }
 
 // Operate implements sim.Prefetcher.
 func (p *TransFetch) Operate(acc sim.LLCAccess) []uint64 {
@@ -152,7 +189,12 @@ func (p *TransFetch) Operate(acc sim.LLCAccess) []uint64 {
 	defer p.ctx.Reset()
 	s := p.gate.hist.SampleInto(&p.scratch, 0)
 	var err error
-	p.out, err = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	if p.sess != nil {
+		scores := p.sess.DeltaScores(p.model, s)
+		p.out, err = models.AppendDeltaTargets(p.ctx, scores, acc.Block, p.opt.Degree, p.out[:0])
+	} else {
+		p.out, err = deltaPrefetchesAppend(p.ctx, p.model, s, acc.Block, p.opt.Degree, p.out[:0])
+	}
 	p.health = keepFirst(p.health, err)
 	return p.out
 }
@@ -167,6 +209,7 @@ type Voyager struct {
 	deltaModel models.DeltaModel
 	gate       inferGate
 	ctx        *tensor.Ctx
+	sess       *BatchSession
 	scratch    models.Sample
 	out        []uint64
 	pages      []uint64
@@ -184,6 +227,7 @@ func NewVoyager(pageModel models.PageModel, deltaModel models.DeltaModel, histor
 		deltaModel: deltaModel,
 		gate:       newInferGate(historyT, opt.InferEvery),
 		ctx:        opt.newCtx(),
+		sess:       opt.newSession(),
 		lastOffset: make(map[uint64]uint64),
 	}
 }
@@ -196,6 +240,13 @@ func (p *Voyager) InferenceLatencyCycles() uint64 { return p.opt.LatencyCycles }
 
 // Health implements sim.HealthReporter.
 func (p *Voyager) Health() error { return p.health }
+
+// JoinBatch registers this prefetcher's session with the shared batch
+// scheduler's flush watermark (no-op without a scheduler).
+func (p *Voyager) JoinBatch() { p.sess.join() }
+
+// LeaveBatch unregisters the session (no-op without a scheduler).
+func (p *Voyager) LeaveBatch() { p.sess.leave() }
 
 // Operate implements sim.Prefetcher.
 func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
@@ -225,8 +276,13 @@ func (p *Voyager) Operate(acc sim.LLCAccess) []uint64 {
 // predict composes the page and delta model outputs into prefetch targets:
 // half the degree goes spatially at the current block, half at the
 // predicted page. Screening failures are recorded as the prefetcher's first
-// health defect.
+// health defect. With a batch session, both models route through the shared
+// scheduler; the delta score vector is computed once and decoded at both
+// bases (the sequential path computes it twice with identical results).
 func (p *Voyager) predict(c *tensor.Ctx, s *models.Sample, block uint64, out []uint64) []uint64 {
+	if p.sess != nil {
+		return p.predictBatch(s, block, out)
+	}
 	half := p.opt.Degree / 2
 	var err error
 	out, err = deltaPrefetchesAppend(c, p.deltaModel, s, block, half, out)
@@ -242,6 +298,34 @@ func (p *Voyager) predict(c *tensor.Ctx, s *models.Sample, block uint64, out []u
 		rest := p.opt.Degree - len(out)
 		if rest > 0 {
 			out, err = deltaPrefetchesAppend(c, p.deltaModel, s, base, rest, out)
+			p.health = keepFirst(p.health, err)
+		}
+	}
+	if len(out) > p.opt.Degree {
+		out = out[:p.opt.Degree]
+	}
+	return out
+}
+
+// predictBatch is predict through the shared batch scheduler. The returned
+// score slice is session-owned and stable across the TopPages call, so one
+// inference serves both the spatial and the page-relative decode.
+func (p *Voyager) predictBatch(s *models.Sample, block uint64, out []uint64) []uint64 {
+	half := p.opt.Degree / 2
+	scores := p.sess.DeltaScores(p.deltaModel, s)
+	var err error
+	out, err = models.AppendDeltaTargets(p.ctx, scores, block, half, out)
+	p.health = keepFirst(p.health, err)
+	p.pages = p.sess.TopPages(p.pageModel, s, 1, p.pages[:0])
+	for _, pg := range p.pages {
+		off, ok := p.lastOffset[pg]
+		if !ok {
+			off = 0
+		}
+		base := trace.BlockOfPageOffset(pg, off)
+		out = append(out, base)
+		if rest := p.opt.Degree - len(out); rest > 0 {
+			out, err = models.AppendDeltaTargets(p.ctx, scores, base, rest, out)
 			p.health = keepFirst(p.health, err)
 		}
 	}
@@ -279,22 +363,5 @@ func deltaPrefetchesAppend(c *tensor.Ctx, m models.DeltaModel, s *models.Sample,
 	if k <= 0 {
 		return dst, nil
 	}
-	scores := models.DeltaScoresWith(c, m, s)
-	if err := models.ScreenScores(scores); err != nil {
-		return dst, err
-	}
-	cfgRange := len(scores) / 2
-	for _, cls := range models.TopKClassesCtx(c, scores, k) {
-		var delta int64
-		if cls < cfgRange {
-			delta = int64(cls) - int64(cfgRange)
-		} else {
-			delta = int64(cls-cfgRange) + 1
-		}
-		target := int64(base) + delta
-		if target >= 0 {
-			dst = append(dst, uint64(target))
-		}
-	}
-	return dst, nil
+	return models.AppendDeltaTargets(c, models.DeltaScoresWith(c, m, s), base, k, dst)
 }

@@ -1,0 +1,61 @@
+package tensor
+
+// Fast elementwise math for the batch tier. On AVX-512F machines these route
+// through the vactAVX512 vector kernel (relative error ~1e-14 against the
+// math package, inside the batch tier's 1e-9 equivalence budget); everywhere
+// else they delegate to the exact sequential implementations, so fallback
+// platforms produce batched output bit-identical to sequential inference.
+
+// ApplyActFast applies act elementwise in place, vectorized when available.
+// Exported for the nn batch layers (LSTM cell tanh); the sequential fast
+// path keeps using the exact applyAct.
+//
+//mpgraph:noalloc
+func ApplyActFast(row []float64, act Act) {
+	applyActFast(row, act)
+}
+
+//mpgraph:noalloc
+func applyActFast(row []float64, act Act) {
+	if batchKernelAvailable() {
+		switch act {
+		case ActSigmoid:
+			vsigmoidRow(row)
+			return
+		case ActTanh:
+			vtanhRow(row)
+			return
+		}
+	}
+	applyAct(row, act)
+}
+
+// softmaxInPlaceFast mirrors softmaxInPlace with a vectorized exp. The
+// max-subtraction and 1/sum normalization match the exact kernel's operation
+// order, so the only divergence is the exp evaluation itself.
+//
+//mpgraph:noalloc
+func softmaxInPlaceFast(row []float64) {
+	if !batchKernelAvailable() {
+		softmaxInPlace(row)
+		return
+	}
+	if len(row) == 0 {
+		return
+	}
+	maxV := row[0]
+	for _, v := range row[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	vexpRow(row, maxV)
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	inv := 1 / sum
+	for i := range row {
+		row[i] *= inv
+	}
+}

@@ -1,0 +1,224 @@
+package tensor
+
+import "mpgraph/internal/invariant"
+
+// Batch-aware arena ops. A "stacked" tensor holds one session per block of
+// rows: [blocks*T x d] in session-major order. Row-wise ops (Linear,
+// LayerNorm, AddBias, the int8 kernels) are batch-oblivious and run on the
+// stacked tensor unchanged; the ops below are the ones that must know the
+// block boundary. Each computes every block with the exact per-element
+// operation sequence of its sequential counterpart, so a block's result
+// never depends on batch composition.
+
+// LinearActBatch is LinearAct through the batched panel kernels: one weight
+// pass for all rows of the stacked block.
+//
+//mpgraph:noalloc
+func (c *Ctx) LinearActBatch(x, w, bias *Tensor, act Act) *Tensor {
+	if c == nil {
+		return c.LinearAct(x, w, bias, act)
+	}
+	if x.Cols != w.Rows {
+		invariant.Failf("tensor: linearBatch %dx%d @ %dx%d", x.Rows, x.Cols, w.Rows, w.Cols)
+	}
+	out := c.uninit(x.Rows, w.Cols)
+	var bd []float64
+	if bias != nil {
+		if bias.Rows != 1 || bias.Cols != w.Cols {
+			invariant.Failf("tensor: linearBatch bias %dx%d for width %d", bias.Rows, bias.Cols, w.Cols)
+		}
+		bd = bias.Data
+	}
+	gemmBatchBiasAct(out.Data, x.Data, w.Data, bd, x.Rows, x.Cols, w.Cols, act)
+	return out
+}
+
+// Linear2ActBatch is Linear2Act through the batched panel kernels (the LSTM
+// gate composition at m stacked rows).
+//
+//mpgraph:noalloc
+func (c *Ctx) Linear2ActBatch(x1, w1, x2, w2, bias *Tensor, act Act) *Tensor {
+	if c == nil {
+		return c.Linear2Act(x1, w1, x2, w2, bias, act)
+	}
+	if x1.Cols != w1.Rows || x2.Cols != w2.Rows || x1.Rows != x2.Rows || w1.Cols != w2.Cols {
+		invariant.Failf("tensor: linear2Batch %dx%d@%dx%d + %dx%d@%dx%d",
+			x1.Rows, x1.Cols, w1.Rows, w1.Cols, x2.Rows, x2.Cols, w2.Rows, w2.Cols)
+	}
+	out := c.uninit(x1.Rows, w1.Cols)
+	var bd []float64
+	if bias != nil {
+		bd = bias.Data
+	}
+	gemm2BatchBiasAct(out.Data, x1.Data, w1.Data, x2.Data, w2.Data, bd,
+		x1.Rows, x1.Cols, x2.Cols, w1.Cols, act)
+	return out
+}
+
+// AttentionBlocks runs scaled-dot-product attention independently inside
+// each of the `blocks` equal row blocks of q/k/v (self-attention never
+// crosses a session boundary). exact selects the sequential math kernels
+// (softmaxInPlace + accumulate-gemm) for paths that must stay bit-identical
+// to per-session inference — the int8 models use it; the float batch tier
+// passes false and takes the vectorized exp and FMA AV product.
+//
+//mpgraph:noalloc
+func (c *Ctx) AttentionBlocks(q, k, v *Tensor, blocks int, scale float64, exact bool) *Tensor {
+	if c == nil || blocks <= 0 || q.Rows%blocks != 0 {
+		invariant.Failf("tensor: attentionBlocks %d rows over %d blocks", q.Rows, blocks)
+	}
+	if q.Cols != k.Cols || q.Rows != k.Rows || k.Rows != v.Rows {
+		invariant.Failf("tensor: attentionBlocks q %dx%d k %dx%d v %dx%d",
+			q.Rows, q.Cols, k.Rows, k.Cols, v.Rows, v.Cols)
+	}
+	t := q.Rows / blocks
+	d := q.Cols
+	dv := v.Cols
+	out := c.uninit(q.Rows, dv)
+	scores := c.Floats(t * t)
+	for blk := 0; blk < blocks; blk++ {
+		qb := q.Data[blk*t*d : (blk+1)*t*d]
+		kb := k.Data[blk*t*d : (blk+1)*t*d]
+		vb := v.Data[blk*t*dv : (blk+1)*t*dv]
+		ob := out.Data[blk*t*dv : (blk+1)*t*dv]
+		gemmNTScale(scores, qb, kb, t, d, t, scale)
+		for r := 0; r < t; r++ {
+			if exact {
+				softmaxInPlace(scores[r*t : (r+1)*t])
+			} else {
+				softmaxInPlaceFast(scores[r*t : (r+1)*t])
+			}
+		}
+		clear(ob)
+		if exact {
+			gemm(ob, scores, vb, t, t, dv)
+		} else {
+			gemmBatch(ob, scores, vb, t, t, dv)
+		}
+	}
+	return out
+}
+
+// MeanRowsBatch reduces each block of rows to its mean row: [blocks*T x d]
+// -> [blocks x d], accumulating in the exact order MeanRows uses per block.
+//
+//mpgraph:noalloc
+func (c *Ctx) MeanRowsBatch(a *Tensor, blocks int) *Tensor {
+	if c == nil || blocks <= 0 || a.Rows%blocks != 0 {
+		invariant.Failf("tensor: meanRowsBatch %d rows over %d blocks", a.Rows, blocks)
+	}
+	t := a.Rows / blocks
+	out := c.zeros(blocks, a.Cols)
+	inv := 1 / float64(t)
+	for blk := 0; blk < blocks; blk++ {
+		orow := out.Data[blk*a.Cols : (blk+1)*a.Cols]
+		for r := 0; r < t; r++ {
+			arow := a.Data[(blk*t+r)*a.Cols : (blk*t+r+1)*a.Cols]
+			for j, av := range arow {
+				orow[j] += av * inv
+			}
+		}
+	}
+	return out
+}
+
+// AddPosBatch adds a [T x d] positional table to every block of a stacked
+// [blocks*T x d] tensor — the batched form of Add(x, pos).
+//
+//mpgraph:noalloc
+func (c *Ctx) AddPosBatch(a, pos *Tensor, blocks int) *Tensor {
+	if c == nil || blocks <= 0 || a.Rows != blocks*pos.Rows || a.Cols != pos.Cols {
+		invariant.Failf("tensor: addPosBatch %dx%d + %dx%d over %d blocks",
+			a.Rows, a.Cols, pos.Rows, pos.Cols, blocks)
+	}
+	out := c.uninit(a.Rows, a.Cols)
+	n := len(pos.Data)
+	for blk := 0; blk < blocks; blk++ {
+		ab := a.Data[blk*n : (blk+1)*n]
+		ob := out.Data[blk*n : (blk+1)*n]
+		for i, av := range ab {
+			ob[i] = av + pos.Data[i]
+		}
+	}
+	return out
+}
+
+// ConcatRowsBatch2 interleaves two stacked tensors block by block:
+// out block i = rows of a's block i followed by rows of b's block i. This is
+// the batched ConcatRows2 the modality-fusion layer needs.
+//
+//mpgraph:noalloc
+func (c *Ctx) ConcatRowsBatch2(a, b *Tensor, blocks int) *Tensor {
+	if c == nil || blocks <= 0 || a.Cols != b.Cols || a.Rows%blocks != 0 || b.Rows%blocks != 0 {
+		invariant.Failf("tensor: concatRowsBatch2 %dx%d + %dx%d over %d blocks",
+			a.Rows, a.Cols, b.Rows, b.Cols, blocks)
+	}
+	ta := a.Rows / blocks
+	tb := b.Rows / blocks
+	d := a.Cols
+	out := c.uninit(a.Rows+b.Rows, d)
+	for blk := 0; blk < blocks; blk++ {
+		base := blk * (ta + tb) * d
+		copy(out.Data[base:base+ta*d], a.Data[blk*ta*d:(blk+1)*ta*d])
+		copy(out.Data[base+ta*d:base+(ta+tb)*d], b.Data[blk*tb*d:(blk+1)*tb*d])
+	}
+	return out
+}
+
+// AddRowPerBlock adds table row ids[i] to every row of block i — the batched
+// AddBias(x, embedding-row) the per-phase embedding uses.
+//
+//mpgraph:noalloc
+func (c *Ctx) AddRowPerBlock(a, table *Tensor, ids []int, blocks int) *Tensor {
+	if c == nil || blocks <= 0 || len(ids) != blocks || a.Rows%blocks != 0 || table.Cols != a.Cols {
+		invariant.Failf("tensor: addRowPerBlock %dx%d, %d ids over %d blocks",
+			a.Rows, a.Cols, len(ids), blocks)
+	}
+	t := a.Rows / blocks
+	d := a.Cols
+	out := c.uninit(a.Rows, a.Cols)
+	for blk, id := range ids {
+		if id < 0 || id >= table.Rows {
+			invariant.Failf("tensor: addRowPerBlock id %d of %d rows", id, table.Rows)
+		}
+		bias := table.Data[id*d : (id+1)*d]
+		for r := 0; r < t; r++ {
+			arow := a.Data[(blk*t+r)*d : (blk*t+r+1)*d]
+			orow := out.Data[(blk*t+r)*d : (blk*t+r+1)*d]
+			for j, av := range arow {
+				orow[j] = av + bias[j]
+			}
+		}
+	}
+	return out
+}
+
+// GatherRowsStride copies count rows starting at `first`, striding by
+// `stride` rows — the LSTM timestep gather (row t of every session block).
+//
+//mpgraph:noalloc
+func (c *Ctx) GatherRowsStride(a *Tensor, first, stride, count int) *Tensor {
+	if c == nil || count <= 0 || stride <= 0 || first < 0 || first+(count-1)*stride >= a.Rows {
+		invariant.Failf("tensor: gatherRowsStride first %d stride %d count %d of %d rows",
+			first, stride, count, a.Rows)
+	}
+	out := c.uninit(count, a.Cols)
+	d := a.Cols
+	for i := 0; i < count; i++ {
+		src := (first + i*stride) * d
+		copy(out.Data[i*d:(i+1)*d], a.Data[src:src+d])
+	}
+	return out
+}
+
+// SigmoidInPlaceFast is SigmoidInPlace through the vector kernel; sequential
+// callers keep the exact SigmoidInPlace.
+//
+//mpgraph:noalloc
+func (c *Ctx) SigmoidInPlaceFast(a *Tensor) *Tensor {
+	if c == nil {
+		return Sigmoid(a)
+	}
+	applyActFast(a.Data, ActSigmoid)
+	return a
+}

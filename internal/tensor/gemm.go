@@ -317,10 +317,18 @@ func gemmNTScale(out, a, b []float64, m, k, n int, s float64) {
 // callers with an allocation-free serial variant check it first so the
 // escaping body closure is only built when goroutines will run it.
 //
+// The profitability test is per worker, not aggregate: a small-batch GEMM
+// whose total flops clear the old threshold still loses to fan-out overhead
+// when each worker's share is tiny, so every worker's slice must itself be
+// worth a dispatch.
+//
 //mpgraph:noalloc
 func shouldParallel(rows, flops int) bool {
 	workers := runtime.GOMAXPROCS(0)
-	return flops >= gemmParallelThreshold && workers > 1 && rows >= 2*workers
+	if workers <= 1 || rows < 2*workers {
+		return false
+	}
+	return flops/workers >= gemmParallelThreshold
 }
 
 // workerFault captures the first panic raised inside a worker goroutine so

@@ -1,0 +1,96 @@
+package tensor
+
+// Batched-GEMM tier: one weight panel multiplied against an N-row stacked
+// activation block. The sequential fast path (gemmBiasAct and friends) keeps
+// its scalar register-blocked kernels untouched; the batch entry points below
+// route through the AVX-512F panel kernels when available and fall back to
+// the exact scalar kernels otherwise, so non-amd64 builds stay bit-identical
+// to sequential inference.
+//
+// Determinism contract: every batch kernel computes output row r as a pure
+// function of activation row r with a fixed per-row operation sequence that
+// is identical between the 4-row and 1-row panel kernels. Results therefore
+// do not depend on batch composition, which is what keeps sweep reports
+// byte-identical for any batch size and worker count.
+
+// initRowsBias seeds each of the m output rows with bias (or zeros), killing
+// the per-row memclr+add the sequential path pays.
+//
+//mpgraph:noalloc
+func initRowsBias(out, bias []float64, m, n int) {
+	if bias == nil {
+		clear(out[:m*n])
+		return
+	}
+	for r := 0; r < m; r++ {
+		copy(out[r*n:(r+1)*n], bias[:n])
+	}
+}
+
+// gemmBatchBiasAct computes out = act(a@b + bias) for a stacked [m x k]
+// activation block against one [k x n] weight panel. This is the batch
+// tier's float entry point: b is streamed through cache once for all m rows.
+//
+//mpgraph:noalloc
+func gemmBatchBiasAct(out, a, b, bias []float64, m, k, n int, act Act) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if !batchKernelAvailable() {
+		gemmBiasAct(out, a, b, bias, m, k, n, act)
+		return
+	}
+	initRowsBias(out, bias, m, n)
+	if k > 0 {
+		fmaPanels(out, a, b, m, k, n)
+	}
+	applyActFast(out[:m*n], act)
+}
+
+// gemm2BatchBiasAct computes out = act(a1@b1 + a2@b2 + bias) — the fused
+// two-input form the LSTM gates use — over a stacked m-row batch.
+//
+//mpgraph:noalloc
+func gemm2BatchBiasAct(out, a1, b1, a2, b2, bias []float64, m, k1, k2, n int, act Act) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if !batchKernelAvailable() {
+		gemm2BiasAct(out, a1, b1, a2, b2, bias, m, k1, k2, n, act)
+		return
+	}
+	initRowsBias(out, bias, m, n)
+	if k1 > 0 {
+		fmaPanels(out, a1, b1, m, k1, n)
+	}
+	if k2 > 0 {
+		fmaPanels(out, a2, b2, m, k2, n)
+	}
+	applyActFast(out[:m*n], act)
+}
+
+// gemmBatch accumulates out += a @ b through the panel kernels (exact gemm
+// fallback off AVX-512F). Used where the caller has already seeded out.
+//
+//mpgraph:noalloc
+func gemmBatch(out, a, b []float64, m, k, n int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if !batchKernelAvailable() {
+		gemm(out, a, b, m, k, n)
+		return
+	}
+	fmaPanels(out, a, b, m, k, n)
+}
+
+// qgemmBatch is the int8 counterpart of gemmBatchBiasAct. The quantized
+// per-row kernels (scalar/SWAR/VNNI) are already batch-oblivious — each
+// output row is an exact int32 dot of its own quantized activation row — so
+// the batched tier is the same kernel at m stacked rows, and batch output is
+// bit-identical to m sequential calls by construction.
+//
+//mpgraph:noalloc
+func (c *Ctx) qgemmBatch(out []float64, xq []int8, q *QTensor, m int, sx float64, bias []float64, act Act) {
+	c.qgemmBiasActFast(out, xq, q, m, sx, bias, act)
+}

@@ -1,0 +1,85 @@
+//go:build amd64
+
+package tensor
+
+// useAVX512F gates the float64 batched-GEMM and vector-activation kernels.
+// It is a variable rather than a constant so tests can force the portable
+// scalar path and compare both tiers on the same machine.
+var useAVX512F = hasAVX512F()
+
+// fmaPanel4Asm is implemented in gemm_batch_amd64.s: out += a @ b for four
+// consecutive rows of the activation block (out rows stride n, a rows stride
+// k), walking b in 16-column zmm tiles so one weight load feeds four FMA
+// chains.
+//
+//mpgraph:noalloc
+//
+//go:noescape
+func fmaPanel4Asm(out, a, b *float64, k, n int64)
+
+// fmaPanel1Asm is the single-row remainder kernel; per element it executes
+// the identical FMA sequence of one fmaPanel4Asm row, so batch composition
+// never changes any row's bits.
+//
+//mpgraph:noalloc
+//
+//go:noescape
+func fmaPanel1Asm(out, a, b *float64, k, n int64)
+
+// vactAVX512 is implemented in gemm_batch_amd64.s: elementwise activation in
+// place over n float64s. mode 0 = exp(x-bias), 1 = sigmoid, 2 = tanh.
+//
+//mpgraph:noalloc
+//
+//go:noescape
+func vactAVX512(p *float64, n, mode int64, bias float64)
+
+// batchKernelAvailable reports whether the AVX-512F batch tier is usable on
+// this machine; callers fall back to the exact scalar kernels otherwise.
+//
+//mpgraph:noalloc
+func batchKernelAvailable() bool { return useAVX512F }
+
+// fmaPanels accumulates out += a @ b over all m rows through the AVX-512F
+// panel kernels, four rows at a time with a single-row remainder.
+//
+//mpgraph:noalloc
+func fmaPanels(out, a, b []float64, m, k, n int) {
+	r := 0
+	for ; r+4 <= m; r += 4 {
+		fmaPanel4Asm(&out[r*n], &a[r*k], &b[0], int64(k), int64(n))
+	}
+	for ; r < m; r++ {
+		fmaPanel1Asm(&out[r*n], &a[r*k], &b[0], int64(k), int64(n))
+	}
+}
+
+// vexpRow replaces row[i] with exp(row[i]-bias) through the vector kernel.
+//
+//mpgraph:noalloc
+func vexpRow(row []float64, bias float64) {
+	if len(row) == 0 {
+		return
+	}
+	vactAVX512(&row[0], int64(len(row)), 0, bias)
+}
+
+// vsigmoidRow applies sigmoid in place through the vector kernel.
+//
+//mpgraph:noalloc
+func vsigmoidRow(row []float64) {
+	if len(row) == 0 {
+		return
+	}
+	vactAVX512(&row[0], int64(len(row)), 1, 0)
+}
+
+// vtanhRow applies tanh in place through the vector kernel.
+//
+//mpgraph:noalloc
+func vtanhRow(row []float64) {
+	if len(row) == 0 {
+		return
+	}
+	vactAVX512(&row[0], int64(len(row)), 2, 0)
+}

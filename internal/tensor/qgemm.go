@@ -502,7 +502,7 @@ func (c *Ctx) QLinearActQ(xq []int8, rows int, scale float64, w *QTensor, bias *
 		return out
 	}
 	out := c.uninit(rows, w.Out)
-	c.qgemmBiasActFast(out.Data, xq, w, rows, scale, bd, act)
+	c.qgemmBatch(out.Data, xq, w, rows, scale, bd, act)
 	return out
 }
 
