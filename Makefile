@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-self vet-fix-check test race bench bench-batch bench-compare faultinject ci
+.PHONY: all build vet lint vet-self vet-fix-check test race bench bench-batch bench-compare faultinject serve-smoke ci
 
 all: build lint test
 
@@ -102,5 +102,14 @@ faultinject:
 	MPGRAPH_DEGRADE_LOG=$(CURDIR)/degrade-events.log $(GO) test -count=1 \
 		./internal/prefetch/ ./internal/experiments/ \
 		-run 'TestGuarded|TestCellRetry|TestCrashResume|TestForEachIndexRecovers|TestCheckpoint'
+
+# serve-smoke is the serving-daemon gate (DESIGN.md §12): boot mpgraph-serve
+# on a tiny suite with session faults armed, drive 200 closed-loop loadgen
+# sessions, SIGTERM, and verify a clean drain plus the goroutine leak-check.
+# The degradation log lands in serve-degrade.log (CI uploads it).
+serve-smoke:
+	$(GO) build -o bin/mpgraph-serve ./cmd/mpgraph-serve
+	$(GO) build -o bin/mpgraph-loadgen ./cmd/mpgraph-loadgen
+	./scripts/serve_smoke.sh
 
 ci: build lint vet-fix-check test race

@@ -1,0 +1,323 @@
+// Command mpgraph-loadgen is a closed-loop load generator for
+// mpgraph-serve: N logical sessions, each with a seeded synthetic access
+// stream shaped like graph-analytics traffic (sequential partition walks
+// with power-law-ish jumps), driven by a bounded worker pool. Each worker
+// POSTs one session chunk, reads the full prediction stream back, and only
+// then issues its next request — so concurrency, not arrival rate, is the
+// controlled variable.
+//
+// Saturation responses (429/503) honour the server's Retry-After hint and
+// retry; everything else non-200 is an error. The run ends with a
+// per-request latency histogram and totals; exit status is non-zero when
+// any session failed outright.
+//
+// Usage:
+//
+//	mpgraph-loadgen -addr http://localhost:8080 -sessions 200 -events 256
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+type event struct {
+	Addr uint64 `json:"addr"`
+	PC   uint64 `json:"pc"`
+	Core uint8  `json:"core"`
+}
+
+// tally aggregates worker results under one mutex.
+type tally struct {
+	mu          sync.Mutex
+	latencies   []time.Duration
+	requests    int
+	events      int
+	predictions int
+	retries     int
+	failures    []string
+}
+
+func (t *tally) request(d time.Duration, events, preds int) {
+	t.mu.Lock()
+	t.latencies = append(t.latencies, d)
+	t.requests++
+	t.events += events
+	t.predictions += preds
+	t.mu.Unlock()
+}
+
+func (t *tally) retry() {
+	t.mu.Lock()
+	t.retries++
+	t.mu.Unlock()
+}
+
+func (t *tally) fail(msg string) {
+	t.mu.Lock()
+	t.failures = append(t.failures, msg)
+	t.mu.Unlock()
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "mpgraph-serve base URL")
+		sessions    = flag.Int("sessions", 200, "number of logical sessions")
+		events      = flag.Int("events", 256, "events per session")
+		chunk       = flag.Int("chunk", 64, "events per request")
+		concurrency = flag.Int("concurrency", 32, "concurrent in-flight sessions (closed loop)")
+		seed        = flag.Int64("seed", 1, "stream-generation seed")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		maxRetries  = flag.Int("max-retries", 50, "max Retry-After backoffs per request before giving up")
+		outPath     = flag.String("out", "", "write the report to this file as well as stdout")
+	)
+	flag.Parse()
+	if *sessions <= 0 || *events <= 0 || *chunk <= 0 || *concurrency <= 0 {
+		fatalf("-sessions, -events, -chunk and -concurrency must be positive")
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	t := &tally{}
+	ids := make(chan int, *sessions)
+	for i := 0; i < *sessions; i++ {
+		ids <- i
+	}
+	close(ids)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ids {
+				runSession(client, *addr, i, *seed, *events, *chunk, *maxRetries, t)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("-out: %v", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	report(w, t, elapsed)
+	if len(t.failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSession drives one session's whole stream, chunk by chunk.
+func runSession(client *http.Client, addr string, i int, seed int64, events, chunk, maxRetries int, t *tally) {
+	stream := sessionStream(seed, i, events)
+	id := fmt.Sprintf("loadgen-%d", i)
+	for start := 0; start < len(stream); start += chunk {
+		end := start + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if !postChunk(client, addr, id, stream[start:end], maxRetries, t) {
+			return
+		}
+	}
+}
+
+// postChunk sends one chunk, honouring Retry-After backoff on saturation.
+// Reports whether the session should continue.
+func postChunk(client *http.Client, addr, id string, chunk []event, maxRetries int, t *tally) bool {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, ev := range chunk {
+		if err := enc.Encode(ev); err != nil {
+			t.fail(fmt.Sprintf("%s: encode: %v", id, err))
+			return false
+		}
+	}
+	url := addr + "/v1/sessions/" + id + "/events"
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.fail(fmt.Sprintf("%s: %v", id, err))
+			return false
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			preds, err := drainPredictions(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.fail(fmt.Sprintf("%s: reading predictions: %v", id, err))
+				return false
+			}
+			t.request(time.Since(begin), len(chunk), preds)
+			return true
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			resp.Body.Close()
+			if attempt >= maxRetries {
+				t.fail(fmt.Sprintf("%s: still saturated after %d retries", id, attempt))
+				return false
+			}
+			t.retry()
+			time.Sleep(retryAfter(resp))
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			t.fail(fmt.Sprintf("%s: HTTP %d: %s", id, resp.StatusCode, bytes.TrimSpace(msg)))
+			return false
+		}
+	}
+}
+
+// drainPredictions counts the prediction lines of one response stream and
+// surfaces a trailing error line as an error.
+func drainPredictions(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	n := 0
+	for {
+		var line struct {
+			Seq   uint64 `json:"seq"`
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return n, err
+		}
+		if line.Error != "" {
+			return n, fmt.Errorf("server: %s", line.Error)
+		}
+		n++
+	}
+}
+
+// retryAfter parses the Retry-After hint, defaulting to 100ms and clamping
+// to 2s so a chaos-injected hint cannot stall the generator.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			if d > 0 {
+				return d
+			}
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// sessionStream generates session i's access stream: per-partition
+// sequential walks (the scatter/gather inner loops) interrupted by jumps to
+// other partitions, with a small hot PC set — the shape the CSTP/PBOT
+// tables are built for. Deterministic in (seed, i).
+func sessionStream(seed int64, i, n int) []event {
+	rng := rand.New(rand.NewSource(seed ^ int64(uint64(i)*0x9e3779b97f4a7c15)))
+	const pageBytes = 1 << 12
+	base := uint64(rng.Intn(1<<20)) * pageBytes
+	addr := base
+	out := make([]event, n)
+	for j := range out {
+		switch {
+		case rng.Float64() < 0.15: // jump to another partition
+			addr = base + uint64(rng.Intn(1<<14))*pageBytes
+		default: // sequential walk, cache-block stride
+			addr += 64
+		}
+		out[j] = event{
+			Addr: addr,
+			PC:   0x400000 + uint64(rng.Intn(8))*4,
+			Core: uint8(rng.Intn(4)),
+		}
+	}
+	return out
+}
+
+// report prints totals and a power-of-two latency histogram.
+func report(w io.Writer, t *tally, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(w, "mpgraph-loadgen: %d requests, %d events, %d predictions, %d retries, %d failures in %s\n",
+		t.requests, t.events, t.predictions, t.retries, len(t.failures), elapsed.Round(time.Millisecond))
+	if len(t.latencies) > 0 {
+		sorted := append([]time.Duration(nil), t.latencies...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
+			pct(sorted, 50), pct(sorted, 90), pct(sorted, 99), sorted[len(sorted)-1].Round(time.Microsecond))
+		fmt.Fprintln(w, "histogram (request latency):")
+		printHistogram(w, sorted)
+	}
+	for _, f := range t.failures {
+		fmt.Fprintf(w, "FAIL %s\n", f)
+	}
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}
+
+// printHistogram renders power-of-two microsecond buckets.
+func printHistogram(w io.Writer, sorted []time.Duration) {
+	counts := map[int]int{}
+	maxBucket := 0
+	for _, d := range sorted {
+		us := d.Microseconds()
+		b := 0
+		for v := int64(1); v < us; v <<= 1 {
+			b++
+		}
+		counts[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	for b := 0; b <= maxBucket; b++ {
+		lo := int64(0)
+		if b > 0 {
+			lo = 1 << (b - 1)
+		}
+		hi := int64(1) << b
+		n := counts[b]
+		bar := ""
+		if len(sorted) > 0 {
+			bar = repeat('#', n*40/len(sorted))
+		}
+		fmt.Fprintf(w, "  %8dus..%8dus %6d %s\n", lo, hi, n, bar)
+	}
+}
+
+func repeat(c byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpgraph-loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 
 	"mpgraph/internal/frameworks"
 	"mpgraph/internal/models"
@@ -192,6 +193,26 @@ type Workload struct {
 
 func (w Workload) String() string {
 	return fmt.Sprintf("%s/%s/%s", w.Framework, w.App, w.Dataset)
+}
+
+// ParseWorkload parses the Workload String form "framework/app/dataset"
+// (e.g. "gpop/pr/rmat"), validating the framework name and its app support.
+// Dataset names are not validated here — the graph builder reports unknown
+// datasets when the trace is built.
+func ParseWorkload(s string) (Workload, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return Workload{}, fmt.Errorf("experiments: bad workload %q (want framework/app/dataset, e.g. gpop/pr/rmat)", s)
+	}
+	fw, err := frameworks.ByName(parts[0])
+	if err != nil {
+		return Workload{}, fmt.Errorf("experiments: bad workload %q: %w", s, err)
+	}
+	app := frameworks.App(parts[1])
+	if !containsApp(fw.Apps(), app) {
+		return Workload{}, fmt.Errorf("experiments: framework %s does not run app %q (supports %v)", fw.Name(), app, fw.Apps())
+	}
+	return Workload{Framework: fw.Name(), App: app, Dataset: parts[2]}, nil
 }
 
 // Workloads enumerates the Table 1 benchmark matrix over the configured

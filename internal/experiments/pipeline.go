@@ -147,6 +147,18 @@ func (r *Runner) scheduler() *prefetch.BatchScheduler {
 	return r.batchSched
 }
 
+// NewModelSession mints a fresh handle into the shared batched-inference
+// scheduler for one externally-owned prefetcher session (the serving
+// daemon's per-client sessions). Returns untyped nil when batching is off,
+// so callers can test the interface value directly.
+func (r *Runner) NewModelSession() core.ModelScheduler {
+	sched := r.scheduler()
+	if sched == nil {
+		return nil
+	}
+	return sched.NewSession()
+}
+
 // WorkloadData is everything derived from one workload trace.
 type WorkloadData struct {
 	Trace     *trace.Trace
@@ -482,10 +494,14 @@ func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
 	if r.Opt.DisableFastPath {
 		opt.DisableFastPath = true
 	}
-	if sched := r.scheduler(); sched != nil {
-		// One session per MPGraph instance; core talks to it through its
-		// ModelScheduler seam (no core→prefetch dependency).
-		opt.Scheduler = sched.NewSession()
+	if opt.Scheduler == nil {
+		if sched := r.scheduler(); sched != nil {
+			// One session per MPGraph instance; core talks to it through its
+			// ModelScheduler seam (no core→prefetch dependency). Callers that
+			// pre-set opt.Scheduler (the serving daemon wraps sessions with a
+			// deadline-aware adapter) keep their own handle.
+			opt.Scheduler = sched.NewSession()
+		}
 	}
 	psDelta, psPage := s.PSDelta, s.PSPage
 	if r.Opt.Int8 && !r.Opt.DisableFastPath {

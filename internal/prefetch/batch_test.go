@@ -138,3 +138,62 @@ func TestBatchMatchesUnbatchedPrefetches(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSchedulerJoinLeaveChurn mirrors the serving daemon's per-chunk
+// membership protocol under -race: workers repeatedly Join, run a short
+// burst, and Leave (an evicted session idles between feeds), with a third
+// of the fleet retiring early. However membership churns, each worker's
+// output sequence must stay a pure function of its own stream — compared
+// here against an unbatched reference — and every round's flush watermark
+// must keep the survivors live.
+func TestBatchSchedulerJoinLeaveChurn(t *testing.T) {
+	ds, delta, page := tinyTrainedModels(t)
+	T := ds.Cfg.HistoryT
+	const (
+		nWorkers = 12
+		rounds   = 8
+		perRound = 10
+	)
+	sched := NewBatchScheduler(8)
+	results := make([][][]uint64, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		pf := buildWorkerPF(w, delta, page, T, MLOptions{Degree: 6, Scheduler: sched})
+		// Workers 8..11 retire after shrinking round counts, so later
+		// rounds run with a strictly smaller joined set.
+		myRounds := rounds
+		if w >= 8 {
+			myRounds = rounds - (w - 7)
+		}
+		wg.Add(1)
+		go func(w, myRounds int, pf batchPF) {
+			defer wg.Done()
+			i := 0
+			for r := 0; r < myRounds; r++ {
+				pf.JoinBatch()
+				for k := 0; k < perRound; k++ {
+					out := pf.Operate(workerAccess(w, i))
+					results[w] = append(results[w], append([]uint64(nil), out...))
+					i++
+				}
+				pf.LeaveBatch()
+			}
+		}(w, myRounds, pf)
+	}
+	wg.Wait()
+
+	for w := 0; w < nWorkers; w++ {
+		ref := buildWorkerPF(w, delta, page, T, MLOptions{Degree: 6})
+		for i := range results[w] {
+			want := ref.Operate(workerAccess(w, i))
+			if len(results[w][i]) != len(want) {
+				t.Fatalf("worker %d access %d: churned %v vs reference %v", w, i, results[w][i], want)
+			}
+			for j := range want {
+				if results[w][i][j] != want[j] {
+					t.Fatalf("worker %d access %d: churned %v vs reference %v", w, i, results[w][i], want)
+				}
+			}
+		}
+	}
+}

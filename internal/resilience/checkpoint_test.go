@@ -158,6 +158,47 @@ func TestStoreCorruptionMatrix(t *testing.T) {
 			},
 			wantReason: "bad magic",
 		},
+		{
+			name: "empty-file",
+			mutate: func(t *testing.T, path string) {
+				writeFile(t, path, nil)
+			},
+			wantReason: "truncated header",
+		},
+		{
+			name: "mid-payload-bit-flip",
+			mutate: func(t *testing.T, path string) {
+				// Flip a single bit in the middle of the CRC'd payload (the
+				// envelope fields stay pristine, so only the checksum can
+				// catch it). Header is 36 bytes, meta is "m" (1 byte).
+				b := readFile(t, path)
+				payloadOff := 36 + 1
+				b[payloadOff+(len(b)-payloadOff)/2] ^= 0x01
+				writeFile(t, path, b)
+			},
+			wantReason: "checksum",
+		},
+		{
+			name: "length-field-skew",
+			mutate: func(t *testing.T, path string) {
+				b := readFile(t, path)
+				plen := binary.LittleEndian.Uint64(b[16:24])
+				binary.LittleEndian.PutUint64(b[16:24], plen+1)
+				writeFile(t, path, b)
+			},
+			wantReason: "size",
+		},
+		{
+			name: "implausible-meta-length",
+			mutate: func(t *testing.T, path string) {
+				// A corrupt meta length must be bounds-rejected before it can
+				// drive a giant allocation.
+				b := readFile(t, path)
+				binary.LittleEndian.PutUint32(b[32:36], 1<<30)
+				writeFile(t, path, b)
+			},
+			wantReason: "implausible meta length",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -193,6 +234,38 @@ func TestStoreCorruptionMatrix(t *testing.T) {
 				t.Fatalf("events = %v, want one corrupt-checkpoint", events.Events())
 			}
 		})
+	}
+}
+
+// TestStoreMetaBitFlipIsStaleMiss: the meta fingerprint is outside the
+// payload CRC, so a flipped meta byte surfaces as staleness (the
+// fingerprint no longer matches), not corruption — still a cache miss,
+// still never a panic, and Verify (which checks the envelope, not the
+// caller's fingerprint) still accepts the file.
+func TestStoreMetaBitFlipIsStaleMiss(t *testing.T) {
+	events := &Log{}
+	s, err := NewStore(t.TempDir(), nil, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("k", "meta-v1", writePayload([]byte("payload"))); err != nil {
+		t.Fatal(err)
+	}
+	b := readFile(t, s.Path("k"))
+	b[36] ^= 0x20 // first meta byte: "meta-v1" -> "Meta-v1"
+	writeFile(t, s.Path("k"), b)
+
+	if err := s.Verify("k"); err != nil {
+		t.Fatalf("Verify = %v; envelope is intact, want nil", err)
+	}
+	var got []byte
+	ok, err := s.Load("k", "meta-v1", readAll(&got))
+	if err != nil || ok {
+		t.Fatalf("Load with flipped meta = %v, %v; want stale miss", ok, err)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Corruptions != 0 {
+		t.Fatalf("stats = %+v, want 1 miss and 0 corruptions", st)
 	}
 }
 

@@ -7,13 +7,16 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"mpgraph/internal/invariant"
 )
 
 // Point names a fault-injection site. The pipeline declares a small, fixed
 // set of points; tests and the -inject CLI flag arm them.
 type Point string
 
-// The named injection points of the experiment pipeline.
+// The named injection points of the experiment pipeline and the serving
+// daemon.
 const (
 	// PointArtifactBuild fires at the start of every workload artifact
 	// build (trace generation + LLC capture).
@@ -25,11 +28,24 @@ const (
 	PointSweepWorker Point = "sweep-worker"
 	// PointCheckpointIO fires on every checkpoint save and load.
 	PointCheckpointIO Point = "checkpoint-io"
+	// PointServeAdmit fires on every serving-daemon admission decision
+	// (session creation), before the session is built.
+	PointServeAdmit Point = "serve-admit"
+	// PointServeSession fires on every event a serving session's primary
+	// prefetcher processes — inside the Guarded degradation boundary, so a
+	// panic here benches one session, never the daemon.
+	PointServeSession Point = "serve-session"
+	// PointServeFlush fires on every prediction-stream flush boundary of a
+	// serving session (once per streamed chunk).
+	PointServeFlush Point = "serve-flush"
 )
 
 // Points lists the valid injection points.
 func Points() []Point {
-	return []Point{PointArtifactBuild, PointTrainEpoch, PointSweepWorker, PointCheckpointIO}
+	return []Point{
+		PointArtifactBuild, PointTrainEpoch, PointSweepWorker, PointCheckpointIO,
+		PointServeAdmit, PointServeSession, PointServeFlush,
+	}
 }
 
 // Kind selects how an armed point fails.
@@ -98,7 +114,14 @@ func NewInjector(seed int64) *Injector {
 }
 
 // Arm arms point to fail with kind on the n-th hit (1-based, exactly once).
+// Arming an unknown point or kind is a programmer error and fails loudly
+// through the designated invariant helper — a misspelled point would
+// otherwise arm nothing, and a chaos drill against it would "pass" without
+// ever injecting a fault. The CLI path (ParseInjector) reports the same
+// defects as errors before this API is reached.
 func (in *Injector) Arm(point Point, kind Kind, n uint64) *Injector {
+	invariant.Checkf(validPoint(point), "resilience: arming unknown injection point %q (valid: %s)", point, pointNames())
+	invariant.Checkf(validKind(kind), "resilience: arming unknown injection kind %q (valid: err, panic, corrupt)", kind)
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.arms[point] = &arm{kind: kind, at: n}
@@ -106,8 +129,11 @@ func (in *Injector) Arm(point Point, kind Kind, n uint64) *Injector {
 }
 
 // ArmProb arms point to fail with kind on every hit independently with
-// probability p, drawn from the injector's seeded stream.
+// probability p, drawn from the injector's seeded stream. Unknown points
+// and kinds fail loudly (see Arm).
 func (in *Injector) ArmProb(point Point, kind Kind, p float64) *Injector {
+	invariant.Checkf(validPoint(point), "resilience: arming unknown injection point %q (valid: %s)", point, pointNames())
+	invariant.Checkf(validKind(kind), "resilience: arming unknown injection kind %q (valid: err, panic, corrupt)", kind)
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.arms[point] = &arm{kind: kind, prob: p}
@@ -146,9 +172,7 @@ func ParseInjector(spec string, seed int64) (*Injector, error) {
 			return nil, fmt.Errorf("resilience: bad injection spec %q: missing @N or ~P", part)
 		}
 		kind := Kind(kindStr)
-		switch kind {
-		case KindErr, KindPanic, KindCorrupt:
-		default:
+		if !validKind(kind) {
 			return nil, fmt.Errorf("resilience: unknown injection kind %q (valid: err, panic, corrupt)", kindStr)
 		}
 		if probabilistic {
@@ -166,6 +190,14 @@ func ParseInjector(spec string, seed int64) (*Injector, error) {
 		}
 	}
 	return in, nil
+}
+
+func validKind(k Kind) bool {
+	switch k {
+	case KindErr, KindPanic, KindCorrupt:
+		return true
+	}
+	return false
 }
 
 func validPoint(p Point) bool {

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mpgraph/internal/resilience"
+)
+
+// TestChaosChurningSessions is the headline robustness drill: 220 sessions
+// churn through a 64-slot table from 24 concurrent clients while all three
+// serve injection points fire probabilistically against real AMMA
+// prefetchers on the batched-inference tier. The server must classify every
+// failure, keep majority availability, bound degradations by actual
+// session-fault firings, drain cleanly, and leak no goroutines. Run with
+// -race.
+func TestChaosChurningSessions(t *testing.T) {
+	const (
+		nSessions  = 220
+		nClients   = 24
+		perSession = 96
+	)
+	baseline := runtime.NumGoroutine()
+
+	cfg := ammaConfig(t, 8)
+	cfg.MaxSessions = 64
+	cfg.FlushEvery = 40
+	inj := resilience.NewInjector(42)
+	inj.ArmProb(resilience.PointServeAdmit, resilience.KindErr, 0.04)
+	inj.ArmProb(resilience.PointServeSession, resilience.KindPanic, 0.004)
+	inj.ArmProb(resilience.PointServeFlush, resilience.KindErr, 0.03)
+	cfg.Injector = inj
+	srv := mustServer(t, cfg)
+
+	var (
+		mu          sync.Mutex
+		successes   int
+		admitFaults int
+		flushFaults int
+	)
+	ids := make(chan int, nSessions)
+	for i := 0; i < nSessions; i++ {
+		ids <- i
+	}
+	close(ids)
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ids {
+				id := fmt.Sprintf("chaos-%d", i)
+				events := sessionEvents(1000, i, perSession)
+				err := srv.Feed(context.Background(), id, events, func(Prediction) error { return nil })
+				var ae *AdmissionError
+				var ie *resilience.InjectedError
+				mu.Lock()
+				switch {
+				case err == nil:
+					successes++
+				case errors.As(err, &ae):
+					admitFaults++
+				case errors.As(err, &ie):
+					flushFaults++
+				default:
+					t.Errorf("session %s: unclassified feed error %v", id, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if successes < nSessions/2 {
+		t.Fatalf("only %d/%d sessions succeeded under chaos; want a majority", successes, nSessions)
+	}
+	st := srv.Stats()
+	t.Logf("chaos: successes=%d admitFaults=%d flushFaults=%d stats=%+v", successes, admitFaults, flushFaults, st)
+	if st.PeakSessions > cfg.MaxSessions {
+		t.Fatalf("peak sessions %d exceeded MaxSessions %d", st.PeakSessions, cfg.MaxSessions)
+	}
+	if st.Evicted == 0 {
+		t.Fatalf("220 sessions through a 64-slot table must evict; stats = %+v", st)
+	}
+	if uint64(admitFaults) != st.AdmitFaults {
+		t.Fatalf("admit faults: classified %d, counted %d", admitFaults, st.AdmitFaults)
+	}
+	// Quarantine needs MaxViolations (3) distinct firings, so degradations
+	// are bounded by the injector's actual serve-session fire count.
+	fired := inj.Fired(resilience.PointServeSession)
+	if st.Degraded*3 > fired {
+		t.Fatalf("%d degradations need >= %d session faults, injector fired %d", st.Degraded, st.Degraded*3, fired)
+	}
+	if fired == 0 && st.Degraded != 0 {
+		t.Fatalf("degradations without any injected session fault: %+v", st)
+	}
+
+	// Availability after the storm: a fresh session must still be servable
+	// (retrying past the still-armed 4% admission fault).
+	served := false
+	for attempt := 0; attempt < 10 && !served; attempt++ {
+		preds := 0
+		err := srv.Feed(context.Background(), "aftermath", sessionEvents(2000, attempt, 16),
+			func(Prediction) error { preds++; return nil })
+		if err == nil {
+			if preds == 0 {
+				t.Fatal("post-chaos feed succeeded with zero predictions")
+			}
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("server unavailable after chaos settled")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if st := srv.Stats(); st.ActiveSessions != 0 {
+		t.Fatalf("sessions survived drain: %+v", st)
+	}
+	waitNoLeakedGoroutines(t, baseline)
+}
+
+// waitNoLeakedGoroutines polls the goroutine count back down to the
+// pre-test baseline (plus slack for runtime helpers), dumping stacks on
+// timeout so a leak names its culprit.
+func waitNoLeakedGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, n, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
