@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-self vet-fix-check test race bench bench-batch bench-compare faultinject serve-smoke ci
+.PHONY: all build vet lint vet-self vet-facts-determinism vet-fix-check test race bench bench-batch bench-compare faultinject serve-smoke ci
 
 all: build lint test
 
@@ -11,10 +11,10 @@ build:
 	$(GO) build ./...
 
 # lint runs the full static-analysis gate: the standard `go vet` passes
-# (delegated by mpgraph-vet) plus the thirteen MPGraph analyzers —
+# (delegated by mpgraph-vet) plus the fourteen MPGraph analyzers —
 # seededrand, errdrop, floateq, panicpolicy, addrhelpers, maporder,
-# walltime, noalloc, lockcheck, golifetime, chansafe, ctxflow, directive.
-# See DESIGN.md §7.
+# walltime, noalloc, lockcheck, golifetime, chansafe, ctxflow, directive,
+# injectpoint. See DESIGN.md §7.
 lint:
 	$(GO) run ./cmd/mpgraph-vet ./...
 
@@ -24,6 +24,18 @@ lint:
 # with -json and uploads the output as an artifact.
 vet-self:
 	$(GO) run ./cmd/mpgraph-vet -novet ./internal/analysis/...
+
+# vet-facts-determinism proves the cross-package fact layer is a pure
+# function of the source: export the fact dir twice and require the trees to
+# be byte-identical. CI runs this step and uploads the first dir as an
+# artifact next to vet-self.jsonl.
+FACTS_DIR ?= /tmp/mpgraph-vet-facts
+vet-facts-determinism:
+	rm -rf $(FACTS_DIR)-1 $(FACTS_DIR)-2
+	$(GO) run ./cmd/mpgraph-vet -novet -facts-dir $(FACTS_DIR)-1 ./...
+	$(GO) run ./cmd/mpgraph-vet -novet -facts-dir $(FACTS_DIR)-2 ./...
+	diff -r $(FACTS_DIR)-1 $(FACTS_DIR)-2
+	rm -rf $(FACTS_DIR)-2
 
 # vet runs only the standard passes (lint is a superset).
 vet:

@@ -1,13 +1,14 @@
 // Command mpgraph-vet is the project's static-analysis gate: it chains the
-// standard `go vet` passes with the thirteen MPGraph-specific analyzers
+// standard `go vet` passes with the fourteen MPGraph-specific analyzers
 // (seededrand, errdrop, floateq, panicpolicy, addrhelpers, maporder,
-// walltime, noalloc, lockcheck, golifetime, chansafe, ctxflow, directive)
-// and exits non-zero on any finding. It is part of tier-1: CI runs it on
-// every push (.github/workflows/ci.yml), and `make lint` runs it locally.
+// walltime, noalloc, lockcheck, golifetime, chansafe, ctxflow, directive,
+// injectpoint) and exits non-zero on any finding. It is part of tier-1: CI
+// runs it on every push (.github/workflows/ci.yml), and `make lint` runs it
+// locally.
 //
 // Usage:
 //
-//	go run ./cmd/mpgraph-vet [-novet] [-list] [-fix] [-json] [-out file] [patterns...]
+//	go run ./cmd/mpgraph-vet [-novet] [-list] [-fix] [-json] [-out file] [-facts-dir dir] [patterns...]
 //
 // Patterns default to ./... and accept the usual ./dir/... forms relative
 // to the module root. -novet skips the delegated `go vet` run (useful when
@@ -32,6 +33,13 @@
 // mpgraph-vet diagnostics artifact so findings are inspectable without
 // re-running the job.
 //
+// -facts-dir exports the cross-package fact layer (internal/analysis/facts):
+// one JSON file per loaded package holding its per-function summaries
+// (allocation-freedom with provenance, may-panic, blocking, sinks, recovery
+// boundaries, injection-point literals, lock sets) plus the injection-point
+// roster. The files are byte-deterministic — CI runs the export twice and
+// diffs the directories — and ship as an artifact next to vet-self.jsonl.
+//
 // Findings are suppressed per line by a trailing
 // "//mpgraph:allow name[,name] -- reason" directive; the reason is
 // mandatory and the directive analyzer enforces it (along with the rest of
@@ -55,6 +63,7 @@ import (
 	"mpgraph/internal/analysis/passes/errdrop"
 	"mpgraph/internal/analysis/passes/floateq"
 	"mpgraph/internal/analysis/passes/golifetime"
+	"mpgraph/internal/analysis/passes/injectpoint"
 	"mpgraph/internal/analysis/passes/lockcheck"
 	"mpgraph/internal/analysis/passes/maporder"
 	"mpgraph/internal/analysis/passes/noalloc"
@@ -71,6 +80,7 @@ var suite = []*analysis.Analyzer{
 	errdrop.Analyzer,
 	floateq.Analyzer,
 	golifetime.Analyzer,
+	injectpoint.Analyzer,
 	lockcheck.Analyzer,
 	maporder.Analyzer,
 	noalloc.Analyzer,
@@ -85,6 +95,7 @@ func main() {
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	jsonOut := flag.Bool("json", false, "print one JSON object per finding instead of the human format")
 	out := flag.String("out", "", "also write findings to this file (CI artifact)")
+	factsDir := flag.String("facts-dir", "", "export per-package fact files (byte-deterministic JSON) to this directory")
 	flag.Parse()
 
 	if *list {
@@ -124,6 +135,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Complete = the target set covers the whole module, the precondition
+	// for whole-program absence checks (injectpoint's declared-never-fired).
+	complete := false
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			complete = true
+		}
+	}
+	opt := analysis.Options{All: loader.Loaded(), FactsDir: *factsDir, Complete: complete}
 
 	var sink io.Writer = os.Stdout
 	if *out != "" {
@@ -136,7 +156,7 @@ func main() {
 	}
 
 	if *fix {
-		if applyFixes(loader, pkgs, sink) || failed {
+		if applyFixes(loader, pkgs, sink, opt) || failed {
 			os.Exit(1)
 		}
 		return
@@ -146,7 +166,7 @@ func main() {
 	if *jsonOut {
 		run = analysis.RunAnalyzersJSON
 	}
-	n, err := run(pkgs, suite, sink)
+	n, err := run(pkgs, suite, sink, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,8 +178,8 @@ func main() {
 // applyFixes runs the suite, writes every suggested rewrite back to disk,
 // and prints the findings that had no fix. Returns true when unresolved
 // findings remain.
-func applyFixes(loader *analysis.Loader, pkgs []*analysis.Package, sink io.Writer) bool {
-	diags, err := analysis.Analyze(pkgs, suite)
+func applyFixes(loader *analysis.Loader, pkgs []*analysis.Package, sink io.Writer, opt analysis.Options) bool {
+	diags, err := analysis.AnalyzeOpts(pkgs, suite, opt)
 	if err != nil {
 		fatal(err)
 	}

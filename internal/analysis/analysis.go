@@ -2,7 +2,7 @@
 // golang.org/x/tools/go/analysis that mpgraph-vet needs, built on the
 // standard library only (go/ast, go/types, go/importer). The repository is
 // dependency-free by policy, so rather than vendoring x/tools the suite
-// mirrors its Analyzer/Pass/Diagnostic API closely enough that the thirteen
+// mirrors its Analyzer/Pass/Diagnostic API closely enough that the fourteen
 // MPGraph analyzers could be ported to the real framework by changing
 // imports.
 //
@@ -30,6 +30,7 @@ import (
 	"mpgraph/internal/analysis/callgraph"
 	"mpgraph/internal/analysis/cfg"
 	"mpgraph/internal/analysis/dataflow"
+	"mpgraph/internal/analysis/facts"
 )
 
 // Shared facts an analyzer can list in Analyzer.Requires. Facts are built
@@ -47,6 +48,12 @@ const (
 	// graph (see internal/analysis/callgraph). Implies NeedDataflow: the
 	// call graph is built over the dataflow summary.
 	NeedCallGraph = "callgraph"
+	// NeedFacts populates Pass.Facts with the cross-package fact store
+	// (see internal/analysis/facts). The driver computes facts for every
+	// loaded module package in topological import order before any
+	// analyzer runs, so an importer's pass always sees its dependencies'
+	// final summaries.
+	NeedFacts = "facts"
 )
 
 // Analyzer describes one static check.
@@ -66,6 +73,12 @@ type Analyzer struct {
 	Match func(pkgPath string) bool
 	// Run performs the check, reporting findings through pass.Report.
 	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once after every package's Run, with the
+	// complete fact store — the hook for whole-program checks that no
+	// single package can settle (e.g. injectpoint's declared-never-fired).
+	// Finish diagnostics must stamp Diagnostic.Pkg themselves; the driver
+	// applies that package's //mpgraph:allow suppressions to them.
+	Finish func(fp *FinishPass) error
 }
 
 // Needs reports whether the analyzer listed the named fact in its
@@ -104,8 +117,62 @@ type Pass struct {
 	// CallGraph is the package-level call graph, populated only for
 	// analyzers that list NeedCallGraph in Requires (nil otherwise).
 	CallGraph *callgraph.Graph
+	// Facts is the cross-package fact store, populated only for analyzers
+	// that list NeedFacts in Requires (nil otherwise). It holds the final
+	// summaries of this package, every module dependency, and — import
+	// order permitting — the rest of the analysis set.
+	Facts *facts.Store
 
 	report func(Diagnostic)
+}
+
+// FinishPass is the whole-program view handed to Analyzer.Finish after all
+// per-package runs.
+type FinishPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Packages is every loaded module package (analysis targets and their
+	// module dependencies), sorted by import path.
+	Packages []*Package
+	// Facts is the complete fact store over Packages.
+	Facts *facts.Store
+	// Complete reports that the analysis targets cover the whole module
+	// (the "./..." invocation). Absence-style checks ("declared but never
+	// fired") are only sound when it is true.
+	Complete bool
+
+	report func(Diagnostic)
+}
+
+// Report records a whole-program finding; d.Pkg must name the package the
+// position belongs to.
+func (p *FinishPass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// NewFinishPass assembles a FinishPass that appends findings to out; the
+// driver and the analysistest harness both build the whole-program phase
+// through it.
+func NewFinishPass(a *Analyzer, fset *token.FileSet, pkgs []*Package, store *facts.Store, complete bool, out *[]Diagnostic) *FinishPass {
+	return &FinishPass{
+		Analyzer: a,
+		Fset:     fset,
+		Packages: pkgs,
+		Facts:    store,
+		Complete: complete,
+		report:   func(d Diagnostic) { *out = append(*out, d) },
+	}
+}
+
+// PackageAt returns the loaded package with the given import path, or nil.
+func (p *FinishPass) PackageAt(path string) *Package {
+	for _, pkg := range p.Packages {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
 }
 
 // TextEdit is one contiguous source replacement: the bytes in [Pos, End)
@@ -135,6 +202,11 @@ type Diagnostic struct {
 	// stamped by the driver so multi-package output can sort by
 	// (package, file, offset, analyzer) independent of load order.
 	Pkg string
+	// Provenance optionally carries the cross-package fact chain behind
+	// the finding (outermost callee first, leaf cause last), so a broken
+	// obligation names the line that actually allocates or blocks. It
+	// rides along in the -json output.
+	Provenance []string
 	// SuggestedFixes optionally carries mechanical rewrites that resolve
 	// the finding; the first fix is the preferred one.
 	SuggestedFixes []SuggestedFix

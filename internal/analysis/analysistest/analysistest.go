@@ -10,9 +10,19 @@
 // importer, runs the analyzer, applies //mpgraph:allow suppression exactly
 // as the driver does, and diffs findings against expectations. Analyzer
 // Match functions are deliberately ignored so fixtures can use short
-// package names. Analyzers that list analysis.NeedDataflow in Requires get
-// a dataflow summary built for each fixture package, exactly as the driver
-// would.
+// package names.
+//
+// Fixtures may import each other: an import path with no dot or slash that
+// names a sibling directory under testdata/src resolves to that fixture
+// package, so cross-package contracts (noalloc obligation chains, ctxflow
+// deadline propagation, injectpoint rosters) are testable end to end. For
+// analyzers that list analysis.NeedFacts, the harness computes the fact
+// store over the target fixture and its fixture dependencies bottom-up,
+// exactly as the driver would; an analyzer's Finish hook then runs over
+// that closure with Complete=true, and want comments in dependency files
+// are honoured. One token.FileSet and one stdlib source importer are shared
+// across every fixture in the test binary, so the standard library is
+// type-checked once per process rather than once per fixture package.
 //
 // RunFix additionally exercises an analyzer's suggested fixes: the fixture
 // package is rewritten with ApplyFixes and every changed file is diffed
@@ -34,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -41,6 +52,7 @@ import (
 	"mpgraph/internal/analysis/callgraph"
 	"mpgraph/internal/analysis/cfg"
 	"mpgraph/internal/analysis/dataflow"
+	"mpgraph/internal/analysis/facts"
 )
 
 // wantRE matches one or more double- or backtick-quoted patterns after
@@ -50,14 +62,25 @@ var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`
 // quotedRE extracts the individual quoted patterns from a want clause.
 var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
+// The FileSet and stdlib importer are process-wide: every fixture in the
+// test binary shares them, so the standard library's dependency packages
+// are parsed and type-checked once, not once per fixture.
+var (
+	sharedFset = token.NewFileSet()
+	sharedStd  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
 // Run checks the analyzer against every named fixture package under
 // testdata/src.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	l := newFxLoader(testdata, nil)
 	for _, pkg := range pkgs {
-		dir := filepath.Join(testdata, "src", pkg)
-		fx := loadFixture(t, dir, pkg)
-		checkWants(t, fx, analyze(t, fx, a))
+		fx, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		checkWants(t, l, fx, analyze(t, l, fx, a))
 	}
 }
 
@@ -65,18 +88,91 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 type fixture struct {
 	dir   string
 	name  string
-	fset  *token.FileSet
 	files []*ast.File
 	tpkg  *types.Package
 	info  *types.Info
 }
 
-func loadFixture(t *testing.T, dir, name string) *fixture {
-	t.Helper()
-	fset := token.NewFileSet()
+// pkg adapts the fixture to the driver's package shape.
+func (fx *fixture) pkg() *analysis.Package {
+	return &analysis.Package{Path: fx.name, Dir: fx.dir, Fset: sharedFset,
+		Files: fx.files, Types: fx.tpkg, Info: fx.info}
+}
+
+// fxLoader resolves fixture-local imports to sibling directories under
+// testdata/src (memoised), delegating everything else to the shared stdlib
+// source importer. override redirects one package name to another directory
+// (RunFix re-analyses fixed sources from a scratch dir while its fixture
+// dependencies stay in testdata).
+type fxLoader struct {
+	testdata string
+	override map[string]string
+	pkgs     map[string]*fixture
+	loading  map[string]bool
+	// order records load completion order: a fixture's dependencies finish
+	// loading before it does, so this is a topological order for free.
+	order []*fixture
+}
+
+func newFxLoader(testdata string, override map[string]string) *fxLoader {
+	return &fxLoader{testdata: testdata, override: override,
+		pkgs: map[string]*fixture{}, loading: map[string]bool{}}
+}
+
+// Import implements types.Importer.
+func (l *fxLoader) Import(path string) (*types.Package, error) {
+	if fixtureName(path) {
+		if dir := l.dirFor(path); dir != "" {
+			fx, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return fx.tpkg, nil
+		}
+	}
+	return sharedStd.Import(path)
+}
+
+// fixtureName reports whether an import path could name a fixture: a bare
+// name with no separator or dot ("a", "bdep", "resilience").
+func fixtureName(path string) bool {
+	return !strings.ContainsAny(path, "./")
+}
+
+// dirFor returns the directory holding the named fixture, or "".
+func (l *fxLoader) dirFor(name string) string {
+	if dir, ok := l.override[name]; ok {
+		return dir
+	}
+	dir := filepath.Join(l.testdata, "src", name)
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				return dir
+			}
+		}
+	}
+	return ""
+}
+
+// load parses and type-checks one fixture package, memoised by name.
+func (l *fxLoader) load(name string) (*fixture, error) {
+	if fx, ok := l.pkgs[name]; ok {
+		return fx, nil
+	}
+	if l.loading[name] {
+		return nil, fmt.Errorf("analysistest: fixture import cycle through %s", name)
+	}
+	l.loading[name] = true
+	defer delete(l.loading, name)
+
+	dir := l.dirFor(name)
+	if dir == "" {
+		return nil, fmt.Errorf("analysistest: no fixture files for %s under %s", name, filepath.Join(l.testdata, "src"))
+	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("%s: %v", name, err)
+		return nil, err
 	}
 	var files []*ast.File
 	for _, e := range ents {
@@ -84,14 +180,14 @@ func loadFixture(t *testing.T, dir, name string) *fixture {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		f, err := parser.ParseFile(sharedFset, path, nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parse %s: %v", path, err)
+			return nil, fmt.Errorf("parse %s: %w", path, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("%s: no fixture files in %s", name, dir)
+		return nil, fmt.Errorf("analysistest: no fixture files in %s", dir)
 	}
 
 	info := &types.Info{
@@ -100,22 +196,56 @@ func loadFixture(t *testing.T, dir, name string) *fixture {
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	tpkg, err := conf.Check(name, fset, files, info)
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(name, sharedFset, files, info)
 	if err != nil {
-		t.Fatalf("type-check %s: %v", name, err)
+		return nil, fmt.Errorf("type-check %s: %w", name, err)
 	}
-	return &fixture{dir: dir, name: name, fset: fset, files: files, tpkg: tpkg, info: info}
+	fx := &fixture{dir: dir, name: name, files: files, tpkg: tpkg, info: info}
+	l.pkgs[name] = fx
+	l.order = append(l.order, fx)
+	return fx, nil
 }
 
-// analyze runs the analyzer on the fixture and returns the filtered,
-// suppression-applied diagnostics — the same view the driver prints.
-func analyze(t *testing.T, fx *fixture, a *analysis.Analyzer) []analysis.Diagnostic {
+// closure returns fx plus its transitive fixture dependencies, in load
+// completion order (dependencies first).
+func (l *fxLoader) closure(fx *fixture) []*fixture {
+	in := map[string]bool{}
+	var mark func(fx *fixture)
+	mark = func(fx *fixture) {
+		if in[fx.name] {
+			return
+		}
+		in[fx.name] = true
+		for _, imp := range fx.tpkg.Imports() {
+			if dep, ok := l.pkgs[imp.Path()]; ok {
+				mark(dep)
+			}
+		}
+	}
+	mark(fx)
+	var out []*fixture
+	for _, dep := range l.order {
+		if in[dep.name] {
+			out = append(out, dep)
+		}
+	}
+	return out
+}
+
+// analyze runs the analyzer on the fixture — per-package Run plus, for
+// analyzers that have one, the whole-program Finish hook over the fixture's
+// dependency closure with Complete=true — and returns the filtered,
+// suppression-applied diagnostics: the same view the driver prints.
+// Suppressions and findings in dependency files count too.
+func analyze(t *testing.T, l *fxLoader, fx *fixture, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
+	deps := l.closure(fx)
+
 	var diags []analysis.Diagnostic
-	pass := analysis.NewPass(a, fx.fset, fx.files, fx.tpkg, fx.info, &diags)
+	pass := analysis.NewPass(a, sharedFset, fx.files, fx.tpkg, fx.info, &diags)
 	if a.NeedsDataflow() {
-		pass.Dataflow = dataflow.New(fx.fset, fx.files, fx.info)
+		pass.Dataflow = dataflow.New(sharedFset, fx.files, fx.info)
 	}
 	if a.Needs(analysis.NeedCFG) {
 		pass.CFG = cfg.NewInfo(fx.info)
@@ -123,24 +253,57 @@ func analyze(t *testing.T, fx *fixture, a *analysis.Analyzer) []analysis.Diagnos
 	if a.Needs(analysis.NeedCallGraph) {
 		pass.CallGraph = callgraph.New(fx.tpkg, pass.Dataflow)
 	}
+	var store *facts.Store
+	if a.Needs(analysis.NeedFacts) || a.Finish != nil {
+		store = facts.NewStore()
+		for _, dep := range deps {
+			store.Add(facts.Compute(sharedFset, dep.files, dep.tpkg, dep.info, store))
+		}
+		pass.Facts = store
+	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, fx.name, err)
 	}
-	sup := analysis.CollectSuppressions(fx.fset, fx.files)
-	return analysis.Filter(fx.fset, diags, sup)
+	if a.Finish != nil {
+		univ := make([]*analysis.Package, len(deps))
+		for i, dep := range deps {
+			univ[i] = dep.pkg()
+		}
+		fp := analysis.NewFinishPass(a, sharedFset, univ, store, true, &diags)
+		if err := a.Finish(fp); err != nil {
+			t.Fatalf("%s finish on %s: %v", a.Name, fx.name, err)
+		}
+	}
+
+	var allFiles []*ast.File
+	for _, dep := range deps {
+		allFiles = append(allFiles, dep.files...)
+	}
+	sup := analysis.CollectSuppressions(sharedFset, allFiles)
+	return analysis.Filter(sharedFset, diags, sup)
 }
 
-func checkWants(t *testing.T, fx *fixture, diags []analysis.Diagnostic) {
+func checkWants(t *testing.T, l *fxLoader, fx *fixture, diags []analysis.Diagnostic) {
 	t.Helper()
 	got := map[string][]string{} // file:line -> messages
 	for _, d := range diags {
-		pos := fx.fset.Position(d.Pos)
+		pos := sharedFset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 		got[key] = append(got[key], d.Message)
 	}
 
-	want := wantComments(t, fx.fset, fx.files)
-	for key, patterns := range want {
+	var allFiles []*ast.File
+	for _, dep := range l.closure(fx) {
+		allFiles = append(allFiles, dep.files...)
+	}
+	want := wantComments(t, sharedFset, allFiles)
+	keys := make([]string, 0, len(want))
+	for key := range want {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		patterns := want[key]
 		msgs := got[key]
 		if len(msgs) != len(patterns) {
 			t.Errorf("%s: want %d finding(s) %q, got %q", key, len(patterns), patterns, msgs)
@@ -180,10 +343,14 @@ func RunFix(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string)
 	t.Helper()
 	update := os.Getenv("MPGRAPH_UPDATE_GOLDEN") != ""
 	for _, pkg := range pkgs {
-		dir := filepath.Join(testdata, "src", pkg)
-		fx := loadFixture(t, dir, pkg)
-		diags := analyze(t, fx, a)
-		res, err := analysis.ApplyFixes(fx.fset, diags, nil)
+		l := newFxLoader(testdata, nil)
+		fx, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		dir := fx.dir
+		diags := analyze(t, l, fx, a)
+		res, err := analysis.ApplyFixes(sharedFset, diags, nil)
 		if err != nil {
 			t.Fatalf("%s: ApplyFixes: %v", pkg, err)
 		}
@@ -234,7 +401,9 @@ func RunFix(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string)
 			continue
 		}
 
-		// Idempotency: materialise the fixed package and run fix again.
+		// Idempotency: materialise the fixed package and run fix again. The
+		// scratch loader re-reads the target from tmp while resolving its
+		// fixture dependencies (unchanged by the fixes) from testdata.
 		tmp := t.TempDir()
 		for _, e := range ents {
 			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -251,8 +420,12 @@ func RunFix(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string)
 				t.Fatal(err)
 			}
 		}
-		fx2 := loadFixture(t, tmp, pkg)
-		res2, err := analysis.ApplyFixes(fx2.fset, analyze(t, fx2, a), nil)
+		l2 := newFxLoader(testdata, map[string]string{pkg: tmp})
+		fx2, err := l2.load(pkg)
+		if err != nil {
+			t.Fatalf("%s (fixed sources): %v", pkg, err)
+		}
+		res2, err := analysis.ApplyFixes(sharedFset, analyze(t, l2, fx2, a), nil)
 		if err != nil {
 			t.Fatalf("%s: ApplyFixes on fixed sources: %v", pkg, err)
 		}

@@ -9,17 +9,84 @@ import (
 	"mpgraph/internal/analysis/callgraph"
 	"mpgraph/internal/analysis/cfg"
 	"mpgraph/internal/analysis/dataflow"
+	"mpgraph/internal/analysis/facts"
 )
 
-// Analyze applies every analyzer (honouring Match) to every package and
+// Options tunes a driver run beyond the target list.
+type Options struct {
+	// All is every loaded module package — the analysis targets plus the
+	// module dependencies the loader pulled in to type-check them. The
+	// fact layer summarises all of them (in topological import order) so
+	// cross-package obligations resolve even when the target set is a
+	// slice of the module. Empty means "just the targets".
+	All []*Package
+	// FactsDir, when non-empty, serialises the computed fact store there:
+	// one byte-deterministic JSON file per package.
+	FactsDir string
+	// Complete declares that the targets cover the whole module (the
+	// "./..." invocation) — the precondition for whole-program
+	// absence checks in Analyzer.Finish.
+	Complete bool
+}
+
+// Analyze applies every analyzer to every package with default options.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return AnalyzeOpts(pkgs, analyzers, Options{})
+}
+
+// AnalyzeOpts applies every analyzer (honouring Match) to every package and
 // returns the surviving findings: //mpgraph:allow-suppressed diagnostics are
 // dropped, repeats at one position are collapsed, and the result is sorted
 // globally by (package path, file, offset, analyzer) so multi-package runs
 // are byte-deterministic regardless of load order. Shared facts (the
 // dataflow summary, the CFG cache, the call graph) are computed once per
-// package, and only when some analyzer that runs on it asks.
-func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var all []Diagnostic
+// package and shared across every analyzer that asks.
+//
+// When any analyzer lists NeedFacts (or has a Finish hook), or a FactsDir
+// is requested, the cross-package fact layer runs first: every package in
+// opt.All is summarised in topological import order, so each package's
+// computation sees its module dependencies' final facts. After the
+// per-package runs, each analyzer's Finish hook fires once with the full
+// store for whole-program checks.
+func AnalyzeOpts(pkgs []*Package, analyzers []*Analyzer, opt Options) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	all := opt.All
+	if len(all) == 0 {
+		all = pkgs
+	}
+
+	needFacts := opt.FactsDir != ""
+	for _, a := range analyzers {
+		if a.Needs(NeedFacts) || a.Finish != nil {
+			needFacts = true
+		}
+	}
+	var store *facts.Store
+	if needFacts {
+		store = facts.NewStore()
+		for _, p := range topoOrder(all) {
+			store.Add(facts.Compute(p.Fset, p.Files, p.Types, p.Info, store))
+		}
+		if opt.FactsDir != "" {
+			if err := store.WriteDir(opt.FactsDir); err != nil {
+				return nil, fmt.Errorf("analysis: writing facts: %w", err)
+			}
+		}
+	}
+
+	supByPath := map[string]Suppressions{}
+	supFor := func(pkg *Package) Suppressions {
+		s, ok := supByPath[pkg.Path]
+		if !ok {
+			s = CollectSuppressions(pkg.Fset, pkg.Files)
+			supByPath[pkg.Path] = s
+		}
+		return s
+	}
+
+	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var df *dataflow.Info
 		var cg *callgraph.Graph
@@ -48,49 +115,125 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				}
 				pass.CallGraph = cg
 			}
+			if a.Needs(NeedFacts) {
+				pass.Facts = store
+			}
 			if err := a.Run(pass); err != nil {
-				return all, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+				return out, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 		if len(diags) == 0 {
 			continue
 		}
-		sup := CollectSuppressions(pkg.Fset, pkg.Files)
-		for _, d := range Filter(pkg.Fset, diags, sup) {
+		for _, d := range Filter(pkg.Fset, diags, supFor(pkg)) {
 			d.Pkg = pkg.Path
-			all = append(all, d)
+			out = append(out, d)
 		}
 	}
-	if len(all) > 1 {
-		fset := pkgs[0].Fset
-		sort.SliceStable(all, func(i, j int) bool {
-			if all[i].Pkg != all[j].Pkg {
-				return all[i].Pkg < all[j].Pkg
+
+	// Whole-program phase: Finish hooks see every package and the full
+	// store. Their findings go through the owning package's suppressions,
+	// then join the global sort like any other diagnostic.
+	fset := pkgs[0].Fset
+	allByPath := map[string]*Package{}
+	for _, p := range all {
+		allByPath[p.Path] = p
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		var fdiags []Diagnostic
+		fp := &FinishPass{
+			Analyzer: a,
+			Fset:     fset,
+			Packages: topoOrder(all),
+			Facts:    store,
+			Complete: opt.Complete,
+			report:   func(d Diagnostic) { fdiags = append(fdiags, d) },
+		}
+		if err := a.Finish(fp); err != nil {
+			return out, fmt.Errorf("analysis: %s finish: %w", a.Name, err)
+		}
+		for _, d := range fdiags {
+			if pkg, ok := allByPath[d.Pkg]; ok && supFor(pkg).Allowed(fset, d.Pos, d.Analyzer) {
+				continue
 			}
-			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			out = append(out, d)
+		}
+	}
+
+	if len(out) > 1 {
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].Pkg != out[j].Pkg {
+				return out[i].Pkg < out[j].Pkg
+			}
+			pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
 			if pi.Filename != pj.Filename {
 				return pi.Filename < pj.Filename
 			}
 			if pi.Offset != pj.Offset {
 				return pi.Offset < pj.Offset
 			}
-			if all[i].Analyzer != all[j].Analyzer {
-				return all[i].Analyzer < all[j].Analyzer
+			if out[i].Analyzer != out[j].Analyzer {
+				return out[i].Analyzer < out[j].Analyzer
 			}
-			return all[i].Message < all[j].Message
+			return out[i].Message < out[j].Message
 		})
 	}
-	return all, nil
+	return out, nil
 }
 
-// RunAnalyzers runs Analyze and prints the findings to w in file:line:col
-// style, returning the number printed. Every package shares the loader's
-// FileSet, so positions from any package resolve against any other's.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, error) {
+// topoOrder returns the packages in topological import order (dependencies
+// before importers), deterministically: ties and sibling visits resolve by
+// import path. Packages outside the set are ignored — Go's import graph is
+// acyclic, so a simple DFS suffices.
+func topoOrder(all []*Package) []*Package {
+	byPath := map[string]*Package{}
+	paths := make([]string, 0, len(all))
+	for _, p := range all {
+		if _, ok := byPath[p.Path]; !ok {
+			paths = append(paths, p.Path)
+		}
+		byPath[p.Path] = p
+	}
+	sort.Strings(paths)
+	visited := map[string]bool{}
+	out := make([]*Package, 0, len(all))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p.Path] {
+			return
+		}
+		visited[p.Path] = true
+		imps := p.Types.Imports()
+		deps := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			if _, ok := byPath[imp.Path()]; ok {
+				deps = append(deps, imp.Path())
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			visit(byPath[dep])
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(byPath[path])
+	}
+	return out
+}
+
+// RunAnalyzers runs AnalyzeOpts and prints the findings to w in
+// file:line:col style, returning the number printed. Every package shares
+// the loader's FileSet, so positions from any package resolve against any
+// other's.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, w io.Writer, opt Options) (int, error) {
 	if len(pkgs) == 0 {
 		return 0, nil
 	}
-	diags, err := Analyze(pkgs, analyzers)
+	diags, err := AnalyzeOpts(pkgs, analyzers, opt)
 	if len(diags) > 0 {
 		fset := pkgs[0].Fset
 		for _, d := range diags {
@@ -111,27 +254,32 @@ type JSONDiagnostic struct {
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
 	Fixable  bool   `json:"fixable"`
+	// Provenance is the cross-package fact chain behind the finding
+	// (outermost callee first, leaf cause last), when the analyzer
+	// recorded one.
+	Provenance []string `json:"provenance,omitempty"`
 }
 
-// RunAnalyzersJSON runs Analyze and writes one JSON object per finding to
-// w, returning the number written.
-func RunAnalyzersJSON(pkgs []*Package, analyzers []*Analyzer, w io.Writer) (int, error) {
+// RunAnalyzersJSON runs AnalyzeOpts and writes one JSON object per finding
+// to w, returning the number written.
+func RunAnalyzersJSON(pkgs []*Package, analyzers []*Analyzer, w io.Writer, opt Options) (int, error) {
 	if len(pkgs) == 0 {
 		return 0, nil
 	}
-	diags, err := Analyze(pkgs, analyzers)
+	diags, err := AnalyzeOpts(pkgs, analyzers, opt)
 	enc := json.NewEncoder(w)
 	fset := pkgs[0].Fset
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		jd := JSONDiagnostic{
-			Package:  d.Pkg,
-			File:     p.Filename,
-			Line:     p.Line,
-			Col:      p.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-			Fixable:  len(d.SuggestedFixes) > 0,
+			Package:    d.Pkg,
+			File:       p.Filename,
+			Line:       p.Line,
+			Col:        p.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Fixable:    len(d.SuggestedFixes) > 0,
+			Provenance: d.Provenance,
 		}
 		if encErr := enc.Encode(jd); encErr != nil && err == nil {
 			err = encErr

@@ -1,0 +1,236 @@
+package facts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScanAlloc walks one function body applying the noalloc leaf rules and is
+// the single source of truth for what counts as a steady-state allocation:
+// make/new, append to a non-parameter, slice/map composite literals,
+// address-taken composite literals, string concatenation, string<->slice
+// conversions, capturing closures, and go statements. Three regions are
+// exempt: the body of an `if x == nil { ... }` guard (the sanctioned
+// allocating slow path of the nil-receiver dispatch idiom), and the
+// arguments of a direct panic(...) call (a terminating path — the invariant
+// helpers' formatted failure messages allocate only when the process is
+// already going down).
+//
+// Non-builtin, non-conversion calls are not judged here: each is handed to
+// onCall for the caller to vet — the facts fixpoint resolves them against
+// callee summaries, the noalloc analyzer against Pass.Facts. Variadic call
+// sites and interface-value boxing remain unmodelled; AllocsPerRun is the
+// ground truth this scan approximates.
+func ScanAlloc(info *types.Info, pkg *types.Package, fd *ast.FuncDecl,
+	onAlloc func(pos token.Pos, reason string), onCall func(call *ast.CallExpr)) {
+	paramObjs := paramSet(info, fd)
+	var walk func(root ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.IfStmt:
+				if isNilGuard(info, s.Cond) {
+					// Nil-receiver dispatch: the guarded block is the
+					// sanctioned allocating fallback.
+					if s.Init != nil {
+						walk(s.Init)
+					}
+					if s.Else != nil {
+						walk(s.Else)
+					}
+					return false
+				}
+			case *ast.CallExpr:
+				return scanCall(info, s, paramObjs, onAlloc, onCall)
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					if _, ok := ast.Unparen(s.X).(*ast.CompositeLit); ok {
+						onAlloc(s.Pos(), "takes the address of a composite literal")
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[s]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						onAlloc(s.Pos(), "builds a slice or map literal")
+					}
+				}
+			case *ast.FuncLit:
+				if capturesOuter(info, pkg, s) {
+					onAlloc(s.Pos(), "builds a capturing closure")
+				}
+			case *ast.GoStmt:
+				onAlloc(s.Pos(), "starts a goroutine")
+			case *ast.BinaryExpr:
+				if s.Op == token.ADD && isStringType(info.Types[s].Type) {
+					onAlloc(s.Pos(), "concatenates strings")
+				}
+			case *ast.AssignStmt:
+				if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+					if tv, ok := info.Types[s.Lhs[0]]; ok && isStringType(tv.Type) {
+						onAlloc(s.Pos(), "concatenates strings")
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}
+
+// scanCall classifies one call expression; the return value feeds
+// ast.Inspect (false stops descent into the call's children).
+func scanCall(info *types.Info, call *ast.CallExpr, paramObjs map[types.Object]bool,
+	onAlloc func(pos token.Pos, reason string), onCall func(call *ast.CallExpr)) bool {
+
+	// Type conversions: only string <-> []byte/[]rune copies the data.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			src, ok := info.Types[call.Args[0]]
+			if ok && stringSliceConversion(tv.Type, src.Type) {
+				onAlloc(call.Pos(), "converts between string and slice")
+			}
+		}
+		return true
+	}
+
+	// Builtins.
+	if id := rootIdent(call.Fun); id != nil {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				onAlloc(call.Pos(), "calls make")
+			case "new":
+				onAlloc(call.Pos(), "calls new")
+			case "append":
+				if len(call.Args) > 0 {
+					dst := rootIdent(call.Args[0])
+					if dst == nil || !paramObjs[info.Uses[dst]] {
+						name := "an expression"
+						if dst != nil {
+							name = dst.Name
+						}
+						onAlloc(call.Pos(), "appends to "+name+", which is not a caller-provided parameter")
+					}
+				}
+			case "panic":
+				// Terminating path: the arguments' allocations never run in
+				// steady state. Skip the whole subtree.
+				return false
+			}
+			return true
+		}
+	}
+
+	onCall(call)
+	return true
+}
+
+// paramSet collects the function's parameter objects (including the
+// receiver): append may grow these, nothing else.
+func paramSet(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addField := func(f *ast.Field) {
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			addField(f)
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		addField(f)
+	}
+	return out
+}
+
+// rootIdent unwraps an expression to its base identifier, if any.
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// isNilGuard matches `x == nil` / `nil == x` conditions.
+func isNilGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	return isNilExpr(info, be.X) || isNilExpr(info, be.Y)
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringSliceConversion reports a conversion between string and a byte or
+// rune slice in either direction (both copy).
+func stringSliceConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isStringType(src) && isByteOrRuneSlice(dst))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturesOuter reports whether the func literal references a variable
+// declared outside it (other than package-level variables and struct
+// fields) — the condition under which the closure is heap-allocated.
+func capturesOuter(info *types.Info, pkg *types.Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == pkg.Scope() {
+			return true // package-level variable: not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -152,6 +152,20 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 	return out, nil
 }
 
+// Loaded returns every module package the loader has type-checked so far —
+// the requested targets plus the module dependencies pulled in to resolve
+// their imports — sorted by import path. The driver summarises this whole
+// set in the fact layer, so facts are computed once per package per run no
+// matter how many targets import it.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 func (l *Loader) importPathFor(dir string) (string, error) {
 	rel, err := filepath.Rel(l.root, dir)
 	if err != nil {

@@ -4,7 +4,7 @@
 // the callee uncancellable — exactly the bug that turns mpgraph-serve
 // session teardown into goroutine leaks.
 //
-// Two rules, per function with a context.Context parameter:
+// Three rules, per function with a context.Context parameter:
 //
 //   - a call to a context-taking callee whose context argument is not
 //     derived from the caller's context parameter (dataflow taint over the
@@ -13,7 +13,21 @@
 //     fix replacing the argument with the parameter);
 //   - a context parameter that is never used at all in a function that
 //     blocks on channel operations — the select should be listening to
-//     ctx.Done() alongside the channel.
+//     ctx.Done() alongside the channel;
+//   - a statically resolved call to a module function whose cross-package
+//     fact (internal/analysis/facts) says it blocks but whose signature
+//     takes no context — the deadline entering this function is severed at
+//     that edge, in this package or any other, and no caller can cancel the
+//     blocked work. The fix is to thread a ctx parameter through the callee
+//     or wrap the call in a select on ctx.Done().
+//
+// The severed-deadline rule is an under-approximation: the Blocks fact
+// propagates only along statically resolved module-internal calls, so
+// blocking reached through interfaces (core.ModelScheduler implementations)
+// or func values is not charged to the caller. What it does guarantee is
+// that every *statically visible* blocking path out of a context-taking
+// function — e.g. a serve handler calling into prefetch/models helpers —
+// either accepts the deadline or is explicitly allowed.
 //
 // Functions without a context parameter are out of scope: package main
 // roots and tests legitimately mint Background contexts. Deliberate
@@ -34,8 +48,8 @@ import (
 // Analyzer is the ctxflow pass.
 var Analyzer = &analysis.Analyzer{
 	Name:     "ctxflow",
-	Doc:      "require context.Context parameters to be threaded to blocking callees instead of dropped or replaced with context.Background",
-	Requires: []string{analysis.NeedDataflow},
+	Doc:      "require context.Context parameters to be threaded to blocking callees instead of dropped, replaced with context.Background, or severed at a ctx-less blocking callee",
+	Requires: []string{analysis.NeedDataflow, analysis.NeedFacts},
 	Match: func(path string) bool {
 		return path == "mpgraph" || strings.HasPrefix(path, "mpgraph/internal/")
 	},
@@ -124,6 +138,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, ctxParam types.Object) {
 		case *ast.CallExpr:
 			idx, ok := contextArgIndex(info, x)
 			if !ok || idx >= len(x.Args) {
+				checkSevered(pass, ctxParam, x)
 				return true
 			}
 			arg := x.Args[idx]
@@ -155,6 +170,30 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, ctxParam types.Object) {
 			"%s is never used but the function blocks here; select on %s.Done() alongside the channel or drop the parameter",
 			ctxParam.Name(), ctxParam.Name())
 	}
+}
+
+// checkSevered applies the deadline-propagation rule to a call whose callee
+// takes no context: if the callee's cross-package fact says it may block,
+// the caller's deadline dies at this edge — report it. Callees without a
+// fact (standard library, interface methods, func values) are out of scope;
+// their blocking is charged by the Blocks fact of whichever module function
+// wraps them statically.
+func checkSevered(pass *analysis.Pass, ctxParam types.Object, call *ast.CallExpr) {
+	f, ok := dataflow.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return
+	}
+	fact := pass.Facts.ForFunc(f)
+	if fact == nil || !fact.Blocks || fact.TakesCtx {
+		return
+	}
+	name := f.Name()
+	if f.Pkg() != nil && f.Pkg() != pass.Pkg {
+		name = f.Pkg().Name() + "." + f.Name()
+	}
+	pass.Reportf(call.Pos(),
+		"deadline severed: %s blocks but takes no context, so %s cannot cancel it; thread a context through %s or select on %s.Done()",
+		name, ctxParam.Name(), name, ctxParam.Name())
 }
 
 // contextArgIndex returns the position of the callee's context.Context

@@ -8,7 +8,7 @@ import (
 )
 
 func TestCtxflow(t *testing.T) {
-	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a", "b")
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a", "b", "xc")
 }
 
 // TestCtxflowFix checks the thread-the-context rewrite against the golden

@@ -1,0 +1,29 @@
+// Package cdep is the dependency half of the severed-deadline fixture: its
+// exported facts (Blocks, TakesCtx) are all the importer's analysis sees.
+package cdep
+
+import "context"
+
+// Wait blocks on a channel receive and takes no context — a deadline dies
+// at any call edge into it.
+func Wait(ch chan int) int {
+	return <-ch
+}
+
+// WaitCtx blocks but accepts the caller's context; threading it is the
+// existing first rule's job, not the severed rule's.
+func WaitCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Quick never blocks; calling it ctx-less is fine.
+func Quick(x int) int { return x + 1 }
+
+// Indirect blocks only through Wait — the Blocks fact propagates along the
+// static call, so importers are charged at their edge into Indirect too.
+func Indirect(ch chan int) int { return Wait(ch) }

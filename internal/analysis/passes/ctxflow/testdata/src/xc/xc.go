@@ -1,0 +1,43 @@
+// Package xc exercises the severed-deadline rule across packages: functions
+// holding a context call cdep helpers whose facts say they block.
+package xc
+
+import (
+	"context"
+
+	"cdep"
+)
+
+func Severed(ctx context.Context, ch chan int) int {
+	return cdep.Wait(ch) // want `deadline severed: cdep\.Wait blocks but takes no context, so ctx cannot cancel it`
+}
+
+func SeveredTransitively(ctx context.Context, ch chan int) int {
+	return cdep.Indirect(ch) // want `deadline severed: cdep\.Indirect blocks but takes no context, so ctx cannot cancel it`
+}
+
+// Threaded passes the deadline on; the callee takes ctx, so the severed
+// rule stands down and the derivation rule is satisfied.
+func Threaded(ctx context.Context, ch chan int) int {
+	return cdep.WaitCtx(ctx, ch)
+}
+
+// NonBlocking calls a provably non-blocking helper ctx-less: fine.
+func NonBlocking(ctx context.Context, x int) int {
+	_ = ctx
+	return cdep.Quick(x)
+}
+
+// localWait is in the same package; the rule charges intra-package edges
+// identically.
+func localWait(ch chan int) int { return <-ch }
+
+func SeveredLocally(ctx context.Context, ch chan int) int {
+	return localWait(ch) // want `deadline severed: localWait blocks but takes no context, so ctx cannot cancel it`
+}
+
+// NoCtx has no context parameter, so it is out of the analyzer's scope
+// entirely — roots may block freely.
+func NoCtx(ch chan int) int {
+	return cdep.Wait(ch)
+}

@@ -38,6 +38,7 @@ var Known = []string{
 	"errdrop",
 	"floateq",
 	"golifetime",
+	"injectpoint",
 	"lockcheck",
 	"maporder",
 	"noalloc",

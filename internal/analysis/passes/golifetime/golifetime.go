@@ -17,7 +17,13 @@
 //
 // Spawned function values are chased through reaching definitions and the
 // call graph (internal/analysis/callgraph), so `run := func() {...}; go
-// run()` and `go s.worker()` resolve like direct spawns. The suggested fix
+// run()` and `go s.worker()` resolve like direct spawns. Calls that leave
+// the package are judged by the callee's cross-package fact
+// (internal/analysis/facts): a callee whose Sink fact is set satisfies the
+// bounded-lifetime contract, and one whose Recovers fact is set satisfies
+// the containment contract — so a serve goroutine that parks inside a
+// prefetch helper's select, or recovers inside another package's guard
+// wrapper, is recognised instead of flagged. The suggested fix
 // for an unbounded spawn appends the detached directive with a TODO reason,
 // keeping the debt grep-able; there is no mechanical fix for a missing
 // boundary — wrapping the body changes behaviour and is the author's call.
@@ -31,13 +37,14 @@ import (
 
 	"mpgraph/internal/analysis"
 	"mpgraph/internal/analysis/callgraph"
+	"mpgraph/internal/analysis/facts"
 )
 
 // Analyzer is the golifetime pass.
 var Analyzer = &analysis.Analyzer{
 	Name:     "golifetime",
-	Doc:      "require every go statement to reach a bounded-lifetime sink (WaitGroup join, context/done select, or //mpgraph:detached -- reason) and a panic-recovery boundary",
-	Requires: []string{analysis.NeedCallGraph},
+	Doc:      "require every go statement to reach a bounded-lifetime sink (WaitGroup join, context/done select, or //mpgraph:detached -- reason) and a panic-recovery boundary, following cross-package facts",
+	Requires: []string{analysis.NeedCallGraph, analysis.NeedFacts},
 	Match: func(path string) bool {
 		return path == "mpgraph" || strings.HasPrefix(path, "mpgraph/internal/")
 	},
@@ -70,7 +77,8 @@ func run(pass *analysis.Pass) error {
 					return true
 				}
 				c := &checker{pass: pass, marked: marked, enclosing: fd,
-					seenLits: map[*ast.FuncLit]bool{}, seenNodes: map[*callgraph.Node]bool{}}
+					seenLits: map[*ast.FuncLit]bool{}, seenNodes: map[*callgraph.Node]bool{},
+					factOK: func(f *facts.FuncFact) bool { return f.Recovers }}
 				if !c.spawnReaches(gs.Call, c.boundaryIn, c.boundaryNode) {
 					pass.Reportf(gs.Pos(), "goroutine without a resilience boundary: route panics through resilience.Guard/GuardVal or an mpgraph:recovers helper")
 				}
@@ -79,7 +87,8 @@ func run(pass *analysis.Pass) error {
 					return true
 				}
 				c = &checker{pass: pass, marked: marked, enclosing: fd,
-					seenLits: map[*ast.FuncLit]bool{}, seenNodes: map[*callgraph.Node]bool{}}
+					seenLits: map[*ast.FuncLit]bool{}, seenNodes: map[*callgraph.Node]bool{},
+					factOK: func(f *facts.FuncFact) bool { return f.Sink }}
 				if !c.spawnReaches(gs.Call, c.sinkIn, c.sinkNode) {
 					d := analysis.Diagnostic{
 						Pos:     gs.Pos(),
@@ -164,6 +173,21 @@ type checker struct {
 	enclosing *ast.FuncDecl
 	seenLits  map[*ast.FuncLit]bool
 	seenNodes map[*callgraph.Node]bool
+	// factOK judges a cross-package callee by its exported fact (Sink for
+	// the lifetime contract, Recovers for containment) — the only view the
+	// call graph, which stops at the package boundary, does not cover.
+	factOK func(*facts.FuncFact) bool
+}
+
+// factReached reports whether the call target's cross-package fact satisfies
+// this checker's contract.
+func (c *checker) factReached(fun ast.Expr) bool {
+	f, ok := calleeObj(c.pass.TypesInfo, fun).(*types.Func)
+	if !ok {
+		return false
+	}
+	fact := c.pass.Facts.ForFunc(f)
+	return fact != nil && c.factOK(fact)
 }
 
 // spawnReaches reports whether the spawned call reaches code satisfying
@@ -172,6 +196,9 @@ type checker struct {
 func (c *checker) spawnReaches(call *ast.CallExpr, inBody func(ast.Node) bool, nodeOK func(*callgraph.Node) bool) bool {
 	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
 		return c.visitLit(lit, inBody, nodeOK)
+	}
+	if c.factReached(call.Fun) {
+		return true
 	}
 	nodes, lits := c.pass.CallGraph.ResolveCall(c.enclosing, call)
 	for _, n := range nodes {
@@ -269,6 +296,11 @@ func (c *checker) sinkIn(body ast.Node) bool {
 					found = true
 				}
 			}
+		case *ast.CallExpr:
+			// A callee outside the package graph sinks if its fact says so.
+			if c.factReached(x.Fun) {
+				found = true
+			}
 		}
 		return !found
 	})
@@ -295,6 +327,10 @@ func (c *checker) boundaryIn(body ast.Node) bool {
 			return true
 		}
 		if c.marked[obj] || (obj.Pkg() != nil && obj.Pkg().Path() == resiliencePath) {
+			found = true
+		}
+		// A callee outside the package recovers if its fact says so.
+		if !found && c.factReached(call.Fun) {
 			found = true
 		}
 		return !found

@@ -8,7 +8,7 @@ import (
 )
 
 func TestGolifetime(t *testing.T) {
-	analysistest.Run(t, "testdata", golifetime.Analyzer, "a", "b")
+	analysistest.Run(t, "testdata", golifetime.Analyzer, "a", "b", "xg")
 }
 
 // TestGolifetimeFix checks the appended detached directive against the

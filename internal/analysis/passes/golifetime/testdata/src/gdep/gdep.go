@@ -1,0 +1,20 @@
+// Package gdep is the dependency half of the cross-package goroutine
+// fixtures: importers only see its exported facts (Sink, Recovers).
+package gdep
+
+// Forever ranges over a channel — its Sink fact bounds any goroutine that
+// parks in it.
+func Forever(ch chan int) {
+	for range ch {
+	}
+}
+
+// Guarded recovers, so it is a containment boundary for spawned bodies in
+// any importing package.
+func Guarded(f func()) {
+	defer func() { recover() }()
+	f()
+}
+
+// Plain neither sinks nor recovers.
+func Plain(x int) int { return x * 2 }

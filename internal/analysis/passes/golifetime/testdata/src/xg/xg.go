@@ -1,0 +1,26 @@
+// Package xg exercises cross-package goroutine contracts: sinks and
+// recovery boundaries that live in gdep are recognised through its facts.
+package xg
+
+import "gdep"
+
+// SpawnBounded satisfies both contracts through gdep: the spawned body
+// recovers inside gdep.Guarded and parks inside gdep.Forever's range.
+func SpawnBounded(ch chan int) {
+	go func() {
+		gdep.Guarded(func() { gdep.Forever(ch) })
+	}()
+}
+
+// SpawnDirect spawns the foreign sink directly; its Recovers gap still
+// needs a boundary.
+func SpawnDirect(ch chan int) {
+	go gdep.Forever(ch) // want `goroutine without a resilience boundary`
+}
+
+// SpawnPlain gets no help from gdep.Plain's facts: both contracts fail.
+func SpawnPlain() {
+	go func() { // want `goroutine may outlive its spawner` `goroutine without a resilience boundary`
+		gdep.Plain(1)
+	}()
+}

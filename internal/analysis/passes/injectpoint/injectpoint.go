@@ -1,0 +1,280 @@
+// Package injectpoint cross-checks the fault-injection surface against the
+// declared roster. The resilience package declares a closed set of injection
+// points (`type Point`, enumerated by `Points()`); production code fires them
+// (`Injector.Fire`), chaos tests arm them (`Arm`/`ArmProb`), and the CLI arms
+// them through `ParseInjector` spec strings. A misspelled point literal at any
+// of those seams fails only at runtime — Arm panics through the invariant
+// helper, ParseInjector returns an error, and a Fire of an unknown point
+// silently never fires, so a chaos drill against it would "pass" without
+// injecting anything. This analyzer moves all three defects to vet time:
+//
+//   - a constant Point literal passed to Fire/Arm/ArmProb that is not on the
+//     declaring package's roster is reported at the call site;
+//   - a constant spec string passed to ParseInjector is parsed against the
+//     real grammar (point:kind@N, point:kind~P; N >= 1, P in [0, 1], kind in
+//     err/panic/corrupt) and each defect is reported with the roster;
+//   - in whole-module runs, a roster point that no function anywhere fires or
+//     arms is reported at its declaration — dead chaos surface (the check is
+//     skipped when any call passes a non-constant point, recorded as "*" in
+//     the facts, since the roster could then be exercised dynamically).
+//
+// Call sites are matched by shape, not import path — a method named
+// Fire/Arm/ArmProb whose first parameter is a named type called Point, and a
+// function named ParseInjector in a package that declares a roster — so
+// analysistest fixtures can carry their own miniature resilience package.
+// The roster itself and every function's fired/armed literals come from the
+// cross-package fact store (internal/analysis/facts), which is also what
+// makes the whole-module absence check possible: Finish sees every package's
+// summary, not one package at a time.
+package injectpoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpgraph/internal/analysis"
+	"mpgraph/internal/analysis/dataflow"
+)
+
+// Analyzer is the injectpoint pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "injectpoint",
+	Doc:      "check injection-point literals (Fire/Arm/ArmProb/ParseInjector) against the declared resilience.Points roster, and flag declared points never fired anywhere in the module",
+	Requires: []string{analysis.NeedFacts},
+	Run:      run,
+	Finish:   finish,
+}
+
+var validKinds = map[string]bool{"err": true, "panic": true, "corrupt": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f, ok := dataflow.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPointCall(f):
+				checkPointArg(pass, f, call)
+			case f.Name() == "ParseInjector":
+				checkSpecArg(pass, f, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPointCall matches the injector arming/firing surface by shape: a
+// function named Fire, Arm, or ArmProb whose first parameter is a named type
+// called Point (the same shape rule the fact layer uses).
+func isPointCall(f *types.Func) bool {
+	switch f.Name() {
+	case "Fire", "Arm", "ArmProb":
+	default:
+		return false
+	}
+	return pointParam(f) != nil
+}
+
+// pointParam returns the named Point type of the function's first parameter,
+// or nil when the shape does not match.
+func pointParam(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return nil
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Point" {
+		return nil
+	}
+	return named
+}
+
+// rosterFor returns the declared point set and import path of the package
+// that owns the Point type, or nil when it declares no roster.
+func rosterFor(pass *analysis.Pass, owner *types.Package) (map[string]bool, string) {
+	if owner == nil {
+		return nil, ""
+	}
+	pf := pass.Facts.Pkg(owner.Path())
+	if pf == nil || len(pf.Points) == 0 {
+		return nil, ""
+	}
+	set := make(map[string]bool, len(pf.Points))
+	for _, p := range pf.Points {
+		set[p.Name] = true
+	}
+	return set, owner.Path()
+}
+
+// checkPointArg vets a constant Point argument against the roster of the
+// package declaring the Point type.
+func checkPointArg(pass *analysis.Pass, f *types.Func, call *ast.CallExpr) {
+	named := pointParam(f)
+	roster, _ := rosterFor(pass, named.Obj().Pkg())
+	if roster == nil || len(call.Args) == 0 {
+		return
+	}
+	val, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok || roster[val] {
+		return
+	}
+	verb := "fires"
+	if f.Name() != "Fire" {
+		verb = "arms"
+	}
+	pass.Reportf(call.Args[0].Pos(), "%s undeclared injection point %q (declared: %s)",
+		verb, val, rosterNames(roster))
+}
+
+// checkSpecArg vets a constant spec string passed to a roster package's
+// ParseInjector against the CLI grammar, so a bad -inject flag value baked
+// into code or docs-by-example fails at vet time instead of process start.
+func checkSpecArg(pass *analysis.Pass, f *types.Func, call *ast.CallExpr) {
+	roster, _ := rosterFor(pass, f.Pkg())
+	if roster == nil || len(call.Args) == 0 {
+		return
+	}
+	spec, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok || strings.TrimSpace(spec) == "" {
+		return
+	}
+	pos := call.Args[0].Pos()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		point, rest, found := strings.Cut(part, ":")
+		if !found {
+			pass.Reportf(pos, "injection spec part %q is malformed (want point:kind@N or point:kind~P)", part)
+			continue
+		}
+		if !roster[point] {
+			pass.Reportf(pos, "injection spec part %q names undeclared point %q (declared: %s)", part, point, rosterNames(roster))
+		}
+		var kind, arg string
+		probabilistic := false
+		if k, a, ok := strings.Cut(rest, "@"); ok {
+			kind, arg = k, a
+		} else if k, a, ok := strings.Cut(rest, "~"); ok {
+			kind, arg, probabilistic = k, a, true
+		} else {
+			pass.Reportf(pos, "injection spec part %q is missing @N or ~P", part)
+			continue
+		}
+		if !validKinds[kind] {
+			pass.Reportf(pos, "injection spec part %q names unknown kind %q (valid: corrupt, err, panic)", part, kind)
+		}
+		if probabilistic {
+			if p, err := strconv.ParseFloat(arg, 64); err != nil || p < 0 || p > 1 {
+				pass.Reportf(pos, "injection spec part %q has probability %q outside [0, 1]", part, arg)
+			}
+		} else if n, err := strconv.ParseUint(arg, 10, 64); err != nil || n == 0 {
+			pass.Reportf(pos, "injection spec part %q has hit count %q (want an integer >= 1)", part, arg)
+		}
+	}
+}
+
+// finish is the whole-module absence check: every declared roster point must
+// be fired or armed by some function in the analysis set, else the chaos
+// surface it names is dead — no drill can ever exercise it. Sound only for
+// whole-module invocations, and disabled entirely when any function passes a
+// non-constant point (the "*" fact), since such a call could reach any point
+// at runtime.
+func finish(fp *analysis.FinishPass) error {
+	if !fp.Complete {
+		return nil
+	}
+	used := map[string]bool{}
+	for _, path := range fp.Facts.Paths() {
+		for _, fn := range fp.Facts.Pkg(path).Funcs {
+			for _, p := range fn.Fires {
+				used[p] = true
+			}
+			for _, p := range fn.Arms {
+				used[p] = true
+			}
+		}
+	}
+	if used["*"] {
+		return nil
+	}
+	for _, pkg := range fp.Packages {
+		pf := fp.Facts.Pkg(pkg.Path)
+		if pf == nil {
+			continue
+		}
+		for _, decl := range pf.Points {
+			if used[decl.Name] {
+				continue
+			}
+			fp.Report(analysis.Diagnostic{
+				Pos: declPos(pkg, decl.Name),
+				Pkg: pkg.Path,
+				Message: fmt.Sprintf("injection point %q is declared in the roster but never fired or armed anywhere in the module",
+					decl.Name),
+			})
+		}
+	}
+	return nil
+}
+
+// declPos locates the constant declaring the named point in the roster
+// package's syntax, falling back to the package's first file when the value
+// is not bound to a constant.
+func declPos(pkg *analysis.Package, name string) token.Pos {
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					c, ok := pkg.Info.Defs[id].(*types.Const)
+					if ok && c.Val().Kind() == constant.String && constant.StringVal(c.Val()) == name {
+						return id.Pos()
+					}
+				}
+			}
+		}
+	}
+	if len(pkg.Files) > 0 {
+		return pkg.Files[0].Package
+	}
+	return token.NoPos
+}
+
+// constString evaluates an expression to a compile-time string, if it is one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// rosterNames renders the declared points sorted, matching the runtime
+// error/invariant message shape.
+func rosterNames(roster map[string]bool) string {
+	names := make([]string, 0, len(roster))
+	for n := range roster {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

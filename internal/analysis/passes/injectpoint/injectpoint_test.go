@@ -1,0 +1,12 @@
+package injectpoint_test
+
+import (
+	"testing"
+
+	"mpgraph/internal/analysis/analysistest"
+	"mpgraph/internal/analysis/passes/injectpoint"
+)
+
+func TestInjectpoint(t *testing.T) {
+	analysistest.Run(t, "testdata", injectpoint.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Package a exercises every injectpoint defect class against the fixture
+// roster, plus the clean shapes that must stay silent.
+package a
+
+import "resilience"
+
+// Fires covers the happy path and the misspelling Fire would silently
+// swallow at runtime.
+func Fires(in *resilience.Injector) {
+	_ = in.Fire(resilience.PointAlpha)
+	_ = in.Fire("alpha")
+	_ = in.Fire("alhpa") // want `fires undeclared injection point "alhpa" \(declared: alpha, beta, ghost\)`
+}
+
+// Arms covers the arming seam: a misspelled constant here is exactly what
+// Injector.Arm rejects at runtime through the invariant helper.
+func Arms(in *resilience.Injector) {
+	in.Arm(resilience.PointBeta, "panic", 3)
+	in.Arm("betaa", "panic", 1)      // want `arms undeclared injection point "betaa" \(declared: alpha, beta, ghost\)`
+	in.ArmProb("bta", "err", 0.5)    // want `arms undeclared injection point "bta" \(declared: alpha, beta, ghost\)`
+	in.ArmProb("beta", "err", 0.25)  // roster hit: silent
+}
+
+// Specs covers the CLI grammar.
+func Specs() {
+	_, _ = resilience.ParseInjector("alpha:err@1,beta:panic~0.5", 1)
+	_, _ = resilience.ParseInjector("alhpa:err@1", 1)  // want `injection spec part "alhpa:err@1" names undeclared point "alhpa" \(declared: alpha, beta, ghost\)`
+	_, _ = resilience.ParseInjector("alpha:boom@1", 1) // want `injection spec part "alpha:boom@1" names unknown kind "boom" \(valid: corrupt, err, panic\)`
+	_, _ = resilience.ParseInjector("alpha:err@0", 1)  // want `injection spec part "alpha:err@0" has hit count "0" \(want an integer >= 1\)`
+	_, _ = resilience.ParseInjector("alpha:err~1.5", 1) // want `injection spec part "alpha:err~1\.5" has probability "1\.5" outside \[0, 1\]`
+	_, _ = resilience.ParseInjector("alpha", 1)        // want `injection spec part "alpha" is malformed \(want point:kind@N or point:kind~P\)`
+	_, _ = resilience.ParseInjector("alpha:err", 1)    // want `injection spec part "alpha:err" is missing @N or ~P`
+}

@@ -1,0 +1,57 @@
+// Package resilience is a miniature of the real injection surface: a Point
+// roster, an Injector with the Fire/Arm/ArmProb shape, and a ParseInjector
+// for the CLI grammar. The injectpoint analyzer matches these by shape, so
+// this fixture stands in for mpgraph/internal/resilience.
+package resilience
+
+// Point names a fault-injection site.
+type Point string
+
+// The declared roster.
+const (
+	// PointAlpha is fired by package a's pipeline.
+	PointAlpha Point = "alpha"
+	// PointBeta is armed by package a's chaos drill.
+	PointBeta Point = "beta"
+	// PointGhost is declared but nothing in the fixture module fires or
+	// arms it — the whole-program absence check reports it at this line.
+	PointGhost Point = "ghost" // want `injection point "ghost" is declared in the roster but never fired or armed anywhere in the module`
+)
+
+// Points lists the valid injection points.
+func Points() []Point {
+	return []Point{PointAlpha, PointBeta, PointGhost}
+}
+
+// Kind selects how an armed point fails.
+type Kind string
+
+// Injector is the harness.
+type Injector struct{ arms map[Point]Kind }
+
+// Fire records a hit at point.
+func (in *Injector) Fire(point Point) error {
+	if in == nil || in.arms[point] == "" {
+		return nil
+	}
+	return nil
+}
+
+// Arm arms point to fail with kind on the n-th hit.
+func (in *Injector) Arm(point Point, kind Kind, n uint64) *Injector {
+	in.arms[point] = kind
+	return in
+}
+
+// ArmProb arms point to fail with probability p.
+func (in *Injector) ArmProb(point Point, kind Kind, p float64) *Injector {
+	in.arms[point] = kind
+	return in
+}
+
+// ParseInjector parses a point:kind@N / point:kind~P spec.
+func ParseInjector(spec string, seed int64) (*Injector, error) {
+	_ = spec
+	_ = seed
+	return &Injector{arms: map[Point]Kind{}}, nil
+}

@@ -14,23 +14,27 @@
 //   - string concatenation (+ or += on strings);
 //   - closures that capture variables (a capturing func literal is a heap
 //     object) and go statements;
-//   - calls to functions the analyzer cannot vouch for. Same-package
-//     callees must themselves be marked //mpgraph:noalloc (the package
-//     call graph makes the obligation transitive). Cross-package callees
-//     are trusted when they live in an exempt package (math, math/bits,
-//     runtime, sync/atomic, the invariant failure helpers, trace bit
-//     arithmetic), are methods on an arena context (receiver type named
-//     Ctx), or follow the fast-path naming convention (suffix "Ctx" or
-//     "Into"); anything else is reported. Interface and func-value calls
-//     cannot be resolved and are reported.
+//   - calls to functions that are not proven allocation-free. Every callee
+//     with a body — same package or not — is judged by its cross-package
+//     fact (internal/analysis/facts), computed bottom-up over the module's
+//     import graph, so the serve→prefetch→models→nn→tensor hot path is
+//     proven end to end rather than trusted at package edges. A finding for
+//     a broken callee carries the provenance chain down to the line that
+//     actually allocates. The only remaining trust is facts.StdlibNoAlloc
+//     (math, math/bits, runtime, sync/atomic) and bodiless assembly stubs,
+//     whose own //mpgraph:noalloc marker is their contract. Interface and
+//     func-value calls cannot be resolved and are reported.
 //
 // The nil-receiver fallback idiom is understood: statements inside an
 // `if x == nil { ... }` guard are the sanctioned allocating slow path
-// (tensor.Ctx dispatch) and are skipped. Known-amortised allocations — a
-// slab's growth fallback, the one-off parallel fan-out closure in gemm —
-// carry //mpgraph:allow noalloc -- <reason> line directives. Variadic call
-// sites and interface-value boxing are not modelled; AllocsPerRun remains
-// the ground truth this analyzer approximates.
+// (tensor.Ctx dispatch) and are skipped, as are the arguments of a direct
+// panic(...) call (a terminating path — the invariant helpers' formatted
+// failure messages never run in steady state). Known-amortised allocations —
+// a slab's growth fallback, the one-off parallel fan-out closure in gemm —
+// carry //mpgraph:allow noalloc -- <reason> line directives, which the fact
+// layer honours too. Variadic call sites and interface-value boxing are not
+// modelled; AllocsPerRun remains the ground truth this analyzer
+// approximates.
 package noalloc
 
 import (
@@ -42,27 +46,22 @@ import (
 
 	"mpgraph/internal/analysis"
 	"mpgraph/internal/analysis/dataflow"
+	"mpgraph/internal/analysis/facts"
 )
 
 // Marker is the doc-comment directive that opts a function in.
 const Marker = "mpgraph:noalloc"
 
-// exemptPkgs are packages whose functions are trusted not to allocate on
-// the paths the kernels use.
-var exemptPkgs = map[string]bool{
-	"math":                       true,
-	"math/bits":                  true,
-	"runtime":                    true,
-	"sync/atomic":                true,
-	"mpgraph/internal/invariant": true, // failure path: terminates the run
-	"mpgraph/internal/trace":     true, // pure bit arithmetic on addresses
-}
+// exemptPkgs is the closed standard-library trust set, shared with the fact
+// layer. It contains no in-repo packages: module-internal callees are
+// proven from their own facts, never assumed.
+var exemptPkgs = facts.StdlibNoAlloc
 
 // Analyzer is the noalloc pass.
 var Analyzer = &analysis.Analyzer{
 	Name:     "noalloc",
-	Doc:      "verify //mpgraph:noalloc functions statically: no make/new/append-to-local/composite-literal/string-concat/capturing-closure, and only marked or trusted callees",
-	Requires: []string{analysis.NeedDataflow},
+	Doc:      "verify //mpgraph:noalloc functions statically: no make/new/append-to-local/composite-literal/string-concat/capturing-closure, and every callee proven allocation-free via cross-package facts",
+	Requires: []string{analysis.NeedDataflow, analysis.NeedFacts},
 	Match: func(path string) bool {
 		return path == "mpgraph" || strings.HasPrefix(path, "mpgraph/internal/")
 	},
@@ -70,35 +69,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	marked := markedFuncs(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !hasMarker(fd) {
 				continue
 			}
-			checkFunc(pass, fd, marked)
+			checkFunc(pass, fd)
 		}
 	}
 	return nil
-}
-
-// markedFuncs collects the type objects of every //mpgraph:noalloc function
-// in the package, so same-package calls can be verified transitively.
-func markedFuncs(pass *analysis.Pass) map[types.Object]bool {
-	marked := map[types.Object]bool{}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || !hasMarker(fd) {
-				continue
-			}
-			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-				marked[obj] = true
-			}
-		}
-	}
-	return marked
 }
 
 func hasMarker(fd *ast.FuncDecl) bool {
@@ -115,252 +95,61 @@ func hasMarker(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// params collects the function's parameter objects (including the
-// receiver): append may grow these, nothing else.
-func params(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	addField := func(f *ast.Field) {
-		for _, name := range f.Names {
-			if obj := info.Defs[name]; obj != nil {
-				out[obj] = true
-			}
-		}
-	}
-	if fd.Recv != nil {
-		for _, f := range fd.Recv.List {
-			addField(f)
-		}
-	}
-	for _, f := range fd.Type.Params.List {
-		addField(f)
-	}
-	return out
-}
-
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, marked map[types.Object]bool) {
-	info := pass.TypesInfo
-	paramObjs := params(info, fd)
+// checkFunc walks one marked function with the shared allocation scanner
+// (facts.ScanAlloc — the same rules the fact layer proves every body
+// against), reporting direct violations at their positions and vetting each
+// remaining call site against the callee's cross-package fact.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	report := func(pos token.Pos, format string, args ...any) {
 		pass.Reportf(pos, "%s is marked //mpgraph:noalloc but %s",
 			fd.Name.Name, fmt.Sprintf(format, args...))
 	}
-
-	var check func(root ast.Node)
-	check = func(root ast.Node) {
-		ast.Inspect(root, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.IfStmt:
-				if isNilGuard(info, s.Cond) {
-					// The nil-receiver dispatch idiom: the guarded block is
-					// the sanctioned allocating fallback.
-					if s.Init != nil {
-						check(s.Init)
-					}
-					if s.Else != nil {
-						check(s.Else)
-					}
-					return false
-				}
-			case *ast.CallExpr:
-				checkCall(pass, s, marked, paramObjs, report)
-			case *ast.UnaryExpr:
-				if s.Op == token.AND {
-					if _, ok := ast.Unparen(s.X).(*ast.CompositeLit); ok {
-						report(s.Pos(), "takes the address of a composite literal")
-					}
-				}
-			case *ast.CompositeLit:
-				if tv, ok := info.Types[s]; ok {
-					switch tv.Type.Underlying().(type) {
-					case *types.Slice, *types.Map:
-						report(s.Pos(), "builds a slice or map literal")
-					}
-				}
-			case *ast.FuncLit:
-				if capturesOuter(info, pass.Pkg, s) {
-					report(s.Pos(), "builds a capturing closure")
-				}
-			case *ast.GoStmt:
-				report(s.Pos(), "starts a goroutine")
-			case *ast.BinaryExpr:
-				if s.Op == token.ADD && isStringType(info.Types[s].Type) {
-					report(s.Pos(), "concatenates strings")
-				}
-			case *ast.AssignStmt:
-				if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
-					if tv, ok := info.Types[s.Lhs[0]]; ok && isStringType(tv.Type) {
-						report(s.Pos(), "concatenates strings")
-					}
-				}
-			}
-			return true
-		})
-	}
-	check(fd.Body)
+	facts.ScanAlloc(pass.TypesInfo, pass.Pkg, fd,
+		func(pos token.Pos, reason string) { report(pos, "%s", reason) },
+		func(call *ast.CallExpr) { checkCall(pass, fd, call, report) })
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, marked, paramObjs map[types.Object]bool, report func(token.Pos, string, ...any)) {
-	info := pass.TypesInfo
-
-	// Type conversions: only string <-> []byte/[]rune copies the data.
-	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
-		if len(call.Args) == 1 {
-			src, ok := info.Types[call.Args[0]]
-			if ok && stringSliceConversion(tv.Type, src.Type) {
-				report(call.Pos(), "converts between string and slice")
-			}
-		}
-		return
-	}
-
-	// Builtins.
-	if id := rootIdent(call.Fun); id != nil {
-		if b, ok := info.Uses[id].(*types.Builtin); ok {
-			switch b.Name() {
-			case "make":
-				report(call.Pos(), "calls make")
-			case "new":
-				report(call.Pos(), "calls new")
-			case "append":
-				if len(call.Args) > 0 {
-					dst := rootIdent(call.Args[0])
-					if dst == nil || !paramObjs[info.Uses[dst]] {
-						name := "an expression"
-						if dst != nil {
-							name = dst.Name
-						}
-						report(call.Pos(), "appends to %s, which is not a caller-provided parameter", name)
-					}
-				}
-			}
-			return
-		}
-	}
-
-	obj := dataflow.Callee(info, call)
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	obj := dataflow.Callee(pass.TypesInfo, call)
 	f, ok := obj.(*types.Func)
 	if !ok {
 		// Func-value or otherwise unresolvable call.
 		report(call.Pos(), "makes a dynamic call the analyzer cannot verify")
 		return
 	}
-	// Origin maps an instantiated generic method (slab[float64].take) back
-	// to the declaration the marker was collected from.
-	if marked[f] || marked[f.Origin()] {
+	f = f.Origin()
+	pkg := f.Pkg()
+	if pkg == nil {
+		return // universe-scope methods (error.Error): no allocation
+	}
+	if fact := pass.Facts.ForFunc(f); fact != nil {
+		if fact.NoAlloc {
+			return
+		}
+		chain := pass.Facts.Chain(pkg.Path(), fact)
+		d := analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf("%s is marked //mpgraph:noalloc but calls %s, which is not allocation-free (%s)",
+				fd.Name.Name, calleeName(pass, f), strings.Join(chain, " -> ")),
+			Provenance: chain,
+		}
+		pass.Report(d)
 		return
 	}
-	pkg := f.Pkg()
-	switch {
-	case pkg == nil:
-		// Universe-scope methods (error.Error): no allocation.
-	case pkg == pass.Pkg:
-		report(call.Pos(), "calls %s, which is not marked //mpgraph:noalloc", f.Name())
-	case exemptPkgs[pkg.Path()]:
-	case ctxMethod(f):
-	case strings.HasSuffix(f.Name(), "Ctx") || strings.HasSuffix(f.Name(), "Into"):
-		// Fast-path naming convention: the callee's own package vets it.
-	default:
+	// No fact: the callee is outside the analysis set. Interface methods
+	// land here too — their resolved *types.Func is the interface's, which
+	// has no body to summarise.
+	if !exemptPkgs[pkg.Path()] {
 		report(call.Pos(), "calls %s.%s, which is outside the trusted no-alloc set", pkg.Name(), f.Name())
 	}
 }
 
-// ctxMethod reports whether f is a method on an arena context type (a named
-// type called Ctx) — the tensor arena API, trusted across packages.
-func ctxMethod(f *types.Func) bool {
-	sig, ok := f.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
+// calleeName renders a callee for the finding message: bare symbol for
+// same-package calls (matching the pre-facts message shape), qualified by
+// package name otherwise.
+func calleeName(pass *analysis.Pass, f *types.Func) string {
+	if f.Pkg() == pass.Pkg {
+		return f.Name()
 	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Ctx"
-}
-
-// rootIdent unwraps an expression to its base identifier, if any.
-func rootIdent(e ast.Expr) *ast.Ident {
-	switch x := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		return x
-	case *ast.SelectorExpr:
-		return x.Sel
-	}
-	return nil
-}
-
-// isNilGuard matches `x == nil` / `nil == x` conditions.
-func isNilGuard(info *types.Info, cond ast.Expr) bool {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || be.Op != token.EQL {
-		return false
-	}
-	return isNil(info, be.X) || isNil(info, be.Y)
-}
-
-func isNil(info *types.Info, e ast.Expr) bool {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	_, isNilObj := info.Uses[id].(*types.Nil)
-	return isNilObj
-}
-
-func isStringType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
-}
-
-// stringSliceConversion reports a conversion between string and a byte or
-// rune slice in either direction (both copy).
-func stringSliceConversion(dst, src types.Type) bool {
-	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
-		(isStringType(src) && isByteOrRuneSlice(dst))
-}
-
-func isByteOrRuneSlice(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	s, ok := t.Underlying().(*types.Slice)
-	if !ok {
-		return false
-	}
-	b, ok := s.Elem().Underlying().(*types.Basic)
-	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
-		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
-}
-
-// capturesOuter reports whether the func literal references a variable
-// declared outside it (other than package-level variables and struct
-// fields) — the condition under which the closure is heap-allocated.
-func capturesOuter(info *types.Info, pkg *types.Package, lit *ast.FuncLit) bool {
-	found := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v, ok := info.Uses[id].(*types.Var)
-		if !ok || v.IsField() {
-			return true
-		}
-		if v.Parent() == pkg.Scope() {
-			return true // package-level variable: not a capture
-		}
-		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
+	return f.Pkg().Name() + "." + f.Name()
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoalloc(t *testing.T) {
-	analysistest.Run(t, "testdata", noalloc.Analyzer, "a", "b")
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "a", "b", "xa")
 }

@@ -41,11 +41,20 @@ func Closure(n int) func() int {
 	return func() int { return n } // want `Closure is marked //mpgraph:noalloc but builds a capturing closure`
 }
 
-func helper(xs []float64) { clear(xs) }
+func helper(n int) []float64 { return make([]float64, n) }
 
 //mpgraph:noalloc
-func CallsUnmarked(xs []float64) {
-	helper(xs) // want `CallsUnmarked is marked //mpgraph:noalloc but calls helper, which is not marked //mpgraph:noalloc`
+func CallsUnproven(n int) {
+	helper(n) // want `CallsUnproven is marked //mpgraph:noalloc but calls helper, which is not allocation-free \(a\.helper: calls make at a\.go:\d+\)`
+}
+
+// wrapper is clean itself but inherits helper's allocation; the chain in
+// the finding walks through it to the leaf.
+func wrapper(n int) []float64 { return helper(n) }
+
+//mpgraph:noalloc
+func CallsChain(n int) {
+	wrapper(n) // want `CallsChain is marked //mpgraph:noalloc but calls wrapper, which is not allocation-free \(a\.wrapper -> a\.helper: calls make at a\.go:\d+\)`
 }
 
 //mpgraph:noalloc

@@ -62,3 +62,30 @@ func allowed(n int) []int {
 func unmarked() []int {
 	return []int{1, 2, 3}
 }
+
+// scale carries no marker, but its body proves allocation-free — the fact
+// layer vouches for it, so callers need no naming convention or marker
+// trust.
+func scale(xs []float64, k float64) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+
+// callsProven discharges its obligation through the unmarked callee's
+// computed fact.
+//
+//mpgraph:noalloc
+func callsProven(xs []float64) {
+	scale(xs, 2)
+}
+
+// failf mirrors the invariant helpers: the panic argument's allocations
+// never run in steady state, so the terminating path is exempt.
+//
+//mpgraph:noalloc
+func failf(ok bool, a, b string) {
+	if !ok {
+		panic("mismatch: " + a + b)
+	}
+}

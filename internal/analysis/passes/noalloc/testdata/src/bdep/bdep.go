@@ -1,0 +1,26 @@
+// Package bdep is the dependency half of the cross-package obligation
+// fixture: it carries no markers at all. Its facts alone decide what
+// importers may call.
+package bdep
+
+// Dot is provably allocation-free; the fact layer exports NoAlloc=true and
+// importers' obligations discharge through it with no marker or naming
+// convention.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Grow allocates; its exported fact breaks any importer's chain.
+func Grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Wrap is clean itself but inherits Grow's allocation — the provenance chain
+// an importer sees walks through Wrap to the leaf.
+func Wrap(n int) []float64 {
+	return Grow(n)
+}

@@ -1,0 +1,21 @@
+// Package xa exercises cross-package obligations: marked functions calling
+// into bdep are judged by bdep's exported facts, not by markers, naming, or
+// package-level trust.
+package xa
+
+import "bdep"
+
+//mpgraph:noalloc
+func UsesProven(a, b []float64) float64 {
+	return bdep.Dot(a, b)
+}
+
+//mpgraph:noalloc
+func UsesBroken(n int) {
+	bdep.Grow(n) // want `UsesBroken is marked //mpgraph:noalloc but calls bdep\.Grow, which is not allocation-free \(bdep\.Grow: calls make at bdep\.go:\d+\)`
+}
+
+//mpgraph:noalloc
+func UsesChain(n int) {
+	bdep.Wrap(n) // want `UsesChain is marked //mpgraph:noalloc but calls bdep\.Wrap, which is not allocation-free \(bdep\.Wrap -> bdep\.Grow: calls make at bdep\.go:\d+\)`
+}

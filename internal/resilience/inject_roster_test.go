@@ -1,0 +1,64 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownPointErrorListsRoster pins the operator experience for a
+// misspelled -inject flag: the error must name every declared point, sorted,
+// so the fix is visible in the message itself rather than in the source.
+func TestUnknownPointErrorListsRoster(t *testing.T) {
+	_, err := ParseInjector("serve-sesion:panic@1", 1)
+	if err == nil {
+		t.Fatal("ParseInjector accepted a misspelled point")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown injection point "serve-sesion"`) {
+		t.Errorf("error does not name the bad point: %q", msg)
+	}
+	for _, p := range Points() {
+		if !strings.Contains(msg, string(p)) {
+			t.Errorf("error does not list declared point %q: %q", p, msg)
+		}
+	}
+	// Sorted listing: deterministic output for logs and tests.
+	names := pointNames()
+	if i := strings.Index(msg, names); i < 0 {
+		t.Errorf("error does not embed the sorted roster %q: %q", names, msg)
+	}
+}
+
+// TestArmPanicListsRoster pins the same property for the programmatic
+// arming path, which fails through the invariant helper.
+func TestArmPanicListsRoster(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Arm accepted a misspelled point")
+		}
+		msg, ok := r.(error)
+		var text string
+		if ok {
+			text = msg.Error()
+		} else {
+			text = strings.TrimSpace(toString(r))
+		}
+		for _, p := range Points() {
+			if !strings.Contains(text, string(p)) {
+				t.Errorf("Arm panic does not list declared point %q: %q", p, text)
+			}
+		}
+	}()
+	NewInjector(1).Arm("serve-sesion", KindPanic, 1)
+}
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if s, ok := v.(interface{ String() string }); ok {
+		return s.String()
+	}
+	return ""
+}
