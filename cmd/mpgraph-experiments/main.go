@@ -61,6 +61,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		slowInfer  = flag.Bool("disable-fast-path", false, "use the legacy allocating inference path (serial; perf baseline)")
 		int8Infer  = flag.Bool("int8", false, "run MPGraph inference on the int8 quantized engine (per-channel weights, calibrated activations)")
+		f32Infer   = flag.Bool("f32", false, "run MPGraph inference on the single-precision compute tier (weights narrowed once, f32 fused kernels)")
 		batch      = flag.Int("batch", 0, "fuse up to N concurrent ML model calls per batched GEMM round (0 = off; reports are byte-identical at any value)")
 		out        = flag.String("out", "", "output file (default stdout)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for atomic checksummed trace/model checkpoints (empty = disabled)")
@@ -92,6 +93,13 @@ func main() {
 	opt.Int8 = *int8Infer
 	if *int8Infer && *slowInfer {
 		fatalf("-int8 requires the fast path; drop -disable-fast-path")
+	}
+	opt.F32 = *f32Infer
+	if *f32Infer && *slowInfer {
+		fatalf("-f32 requires the fast path; drop -disable-fast-path")
+	}
+	if *f32Infer && *int8Infer {
+		fatalf("-f32 and -int8 are mutually exclusive; pick one reduced-precision engine")
 	}
 	opt.Batch = *batch
 	if *batch > 0 && *slowInfer {

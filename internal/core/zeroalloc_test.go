@@ -200,6 +200,57 @@ func benchStudentOperate(b *testing.B, int8Path bool) {
 	}
 }
 
+// newF32AMMAMPGraph is newAMMAMPGraph with the models swapped for their
+// narrowed single-precision mirrors.
+func newF32AMMAMPGraph(tb testing.TB, opt Options) *MPGraph {
+	tb.Helper()
+	cfg := models.SmallConfig()
+	var pcVals, pageVals []uint64
+	for i := 0; i < 32; i++ {
+		pcVals = append(pcVals, 0x400000+0x40*uint64(i))
+		pageVals = append(pageVals, uint64(1<<14+i))
+	}
+	pcs := models.BuildVocab(pcVals, cfg.PCVocab)
+	pages := models.BuildVocab(pageVals, cfg.PageVocab)
+	delta, page, err := models.ConvertSuiteF32(
+		models.NewAMMADelta(cfg, pcs, 0, 1),
+		models.NewAMMAPage(cfg, pages, pcs, 0, 2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := New(opt, cfg.HistoryT, silentDetector{}, []models.DeltaModel{delta}, []models.PageModel{page})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestMPGraphOperateZeroAllocF32(t *testing.T) {
+	m := newF32AMMAMPGraph(t, DefaultOptions())
+	step := mpgraphStepper(m)
+	for n := 0; n < 96; n++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(64, step); allocs != 0 {
+		t.Fatalf("steady-state f32 MPGraph.Operate allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkOperateMPGraphAMMAF32 pairs with BenchmarkOperateMPGraphAMMA
+// (mpgraph-bench derives the f32 speedup from the name).
+func BenchmarkOperateMPGraphAMMAF32(b *testing.B) {
+	m := newF32AMMAMPGraph(b, DefaultOptions())
+	step := mpgraphStepper(m)
+	for n := 0; n < 96; n++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		step()
+	}
+}
+
 func BenchmarkOperateMPGraphStudent(b *testing.B) { benchStudentOperate(b, false) }
 
 // BenchmarkOperateMPGraphStudentInt8 pairs with BenchmarkOperateMPGraphStudent.

@@ -26,6 +26,7 @@ type compressedSuite struct {
 	pageAcc    float64
 	distilled  bool
 	quantBytes int
+	f16Bytes   int
 }
 
 // buildCompressed trains per-phase students at the given width divisor,
@@ -86,6 +87,7 @@ func buildCompressed(r *Runner, wl Workload, divisor int, distill bool) (*compre
 		}
 		totalParams += nn.CountParams(delta) + nn.CountParams(page)
 		cs.quantBytes += nn.StorageBytes(delta, 8) + nn.StorageBytes(page, 8)
+		cs.f16Bytes += nn.StorageBytes(delta, 16) + nn.StorageBytes(page, 16)
 		cs.deltas = append(cs.deltas, delta)
 		cs.pages = append(cs.pages, page)
 	}
@@ -103,6 +105,23 @@ func (cs *compressedSuite) prefetcher(r *Runner, historyT int, latency uint64) (
 	opt.LatencyCycles = latency
 	det := phasedet.NewSoftKSWIN(phasedet.KSWINConfig{Seed: r.Opt.Seed})
 	return core.New(opt, historyT, det, cs.deltas, cs.pages)
+}
+
+// f32Suite returns a single-precision copy of the compressed suite: the
+// per-phase students narrowed to the f32 compute tier. Like the int8 rows,
+// quality columns are not re-evaluated — the f32 rows measure speed and
+// end-to-end IPC on the f32 kernels (parity is pinned in the models tests).
+func (cs *compressedSuite) f32Suite() (*compressedSuite, error) {
+	fd, fp, err := models.ConvertSuiteF32(
+		&models.PhaseSpecificDelta{Models: cs.deltas},
+		&models.PhaseSpecificPage{Models: cs.pages})
+	if err != nil {
+		return nil, err
+	}
+	out := *cs
+	out.deltas = fd.(*models.PhaseSpecificDelta).Models
+	out.pages = fp.(*models.PhaseSpecificPage).Models
+	return &out, nil
 }
 
 // int8Suite returns an int8-quantized copy of the compressed suite: the
@@ -166,10 +185,11 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 		return err
 	}
 	section(w, fmt.Sprintf("Figure 13: Knowledge distillation under compression (workload %s)", wl))
-	t := &Table{Header: []string{"Models", "Ratio", "Params(K)", "8bitKB", "DeltaF1", "PageAcc@10", "IPCImpv", "ns/op"}}
+	t := &Table{Header: []string{"Models", "Ratio", "Params(K)", "8bitKB", "f16KB", "DeltaF1", "PageAcc@10", "IPCImpv", "ns/op"}}
 
-	// Teacher reference row. Under Options.Int8 this is already the int8
-	// teacher — MPGraph quantizes behind the flag.
+	// Teacher reference row. Under Options.Int8 (or Options.F32) this is
+	// already the reduced-precision teacher — MPGraph converts behind the
+	// flag.
 	teacherPF, err := r.MPGraph(wl, core.DefaultOptions())
 	if err != nil {
 		return err
@@ -179,11 +199,16 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 		return err
 	}
 	teacherParams := nn.CountParams(s.PSDelta) + nn.CountParams(s.PSPage)
+	teacherF16KB := float64(nn.StorageBytes(s.PSDelta, 16)+nn.StorageBytes(s.PSPage, 16)) / 1024
 	teacherLabel := "teacher (AMMA-PS)"
 	if r.Opt.Int8 {
 		teacherLabel += " int8"
 	}
+	if r.Opt.F32 {
+		teacherLabel += " f32"
+	}
 	t.Add(teacherLabel, "1.0x", fmt.Sprintf("%.1f", float64(teacherParams)/1000), "-",
+		fmt.Sprintf("%.1f", teacherF16KB),
 		f4(models.EvalDeltaF1(s.PSDelta, s.Test.Samples, r.Opt.EvalSamples)),
 		f4(models.EvalPageAccAtK(s.PSPage, s.Test.Samples, 10, r.Opt.EvalSamples)),
 		pct(m.IPCImprovement(base)), d1(measureOperateNs(teacherPF, d.TestRaw)))
@@ -194,7 +219,7 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 	if err != nil {
 		return err
 	}
-	t.Add("BO (rule-based)", "-", "-", "-", "-", "-",
+	t.Add("BO (rule-based)", "-", "-", "-", "-", "-", "-",
 		pct(mbo.IPCImprovement(base)), d1(measureOperateNs(bo, d.TestRaw)))
 
 	for _, divisor := range []int{2, 4} {
@@ -204,12 +229,22 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 				return err
 			}
 			suites := []*compressedSuite{cs}
+			variant := ""
 			if r.Opt.Int8 {
 				qcs, err := cs.int8Suite(s.Train.Samples)
 				if err != nil {
 					return err
 				}
 				suites = append(suites, qcs)
+				variant = " int8"
+			}
+			if r.Opt.F32 {
+				fcs, err := cs.f32Suite()
+				if err != nil {
+					return err
+				}
+				suites = append(suites, fcs)
+				variant = " f32"
 			}
 			for i, suite := range suites {
 				pf, err := suite.prefetcher(r, s.Cfg.HistoryT, 0)
@@ -226,13 +261,14 @@ func FigureDistillation(w io.Writer, r *Runner) error {
 				}
 				deltaF1, pageAcc := f4(suite.deltaF1), f4(suite.pageAcc)
 				if i > 0 {
-					// Quantized rows measure speed, not re-derived quality
-					// (see int8Suite).
-					label += " int8"
+					// Reduced-precision rows measure speed, not re-derived
+					// quality (see int8Suite / f32Suite).
+					label += variant
 					deltaF1, pageAcc = "-", "-"
 				}
 				t.Add(label, suite.name, fmt.Sprintf("%.1f", float64(suite.params)/1000),
 					fmt.Sprintf("%.1f", float64(suite.quantBytes)/1024),
+					fmt.Sprintf("%.1f", float64(suite.f16Bytes)/1024),
 					deltaF1, pageAcc, pct(m.IPCImprovement(base)),
 					d1(measureOperateNs(pf, d.TestRaw)))
 			}

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"mpgraph/internal/core"
 	"mpgraph/internal/frameworks"
+	"mpgraph/internal/models"
 )
 
 // tinyOptions is a minimal configuration exercising every pipeline stage.
@@ -193,4 +195,69 @@ func TestExtendedBaselines(t *testing.T) {
 	var buf bytes.Buffer
 	runAndCheck(t, "extended", func() error { return TableExtendedBaselines(&buf, shared) }, &buf,
 		"vldp", "domino", "imp", "sms", "markov", "ensemble", "bo+throttle")
+}
+
+// TestF32Option: Options.F32 swaps the MPGraph suite for the narrowed f32
+// mirrors (single-flight, cached), rejects incompatible combinations, and
+// the converted pair drives a working prefetcher.
+func TestF32Option(t *testing.T) {
+	wl := shared.Opt.Workloads()[0]
+	if _, err := shared.Suite(wl); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(shared.Opt)
+	r2.Opt.F32 = true
+	r2.suites = shared.suites // reuse the trained suite; conversion is the unit under test
+	r2.data = shared.data
+	r2.graphs = shared.graphs
+
+	fp, err := r2.f32PS(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, sub := range fp.delta.Models {
+		if _, ok := sub.(*models.F32AMMADelta); !ok {
+			t.Fatalf("phase %d delta is %T, want *models.F32AMMADelta", p, sub)
+		}
+	}
+	for p, sub := range fp.page.Models {
+		if _, ok := sub.(*models.F32AMMAPage); !ok {
+			t.Fatalf("phase %d page is %T, want *models.F32AMMAPage", p, sub)
+		}
+	}
+	fp2, err := r2.f32PS(wl)
+	if err != nil || fp2 != fp {
+		t.Fatal("f32 pair not cached")
+	}
+
+	mp, err := r2.MPGraph(wl, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, base, err := r2.Simulate(wl, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IPC() <= 0 || base.IPC() <= 0 {
+		t.Fatal("f32 sweep cell did not simulate")
+	}
+	if err := mp.Health(); err != nil {
+		t.Fatalf("healthy f32 suite latched: %v", err)
+	}
+
+	bad := shared.Opt
+	bad.F32, bad.Int8 = true, true
+	if err := bad.validateBatch(); err == nil {
+		t.Fatal("F32+Int8 must be a configuration error")
+	}
+	// DisableFastPath+F32 is tolerated (f32 is simply inert off the fast
+	// path, mirroring Int8); construction must not fail.
+	r3 := NewRunner(shared.Opt)
+	r3.Opt.F32, r3.Opt.DisableFastPath = true, true
+	r3.suites = shared.suites
+	r3.data = shared.data
+	r3.graphs = shared.graphs
+	if _, err := r3.MPGraph(wl, core.DefaultOptions()); err != nil {
+		t.Fatalf("F32 with DisableFastPath should be inert, got %v", err)
+	}
 }

@@ -75,6 +75,13 @@ type Options struct {
 	// when DisableFastPath is set — the int8 kernels live on the arena fast
 	// path, so the legacy autograd path always scores in float.
 	Int8 bool
+	// F32 runs the MPGraph prefetcher's inference on the single-precision
+	// compute tier: per-phase model weights are narrowed to f32 once per
+	// workload and Operate dispatches the f32 fused kernels (DESIGN.md §13).
+	// Mutually exclusive with Int8 (one reduced-precision engine at a time)
+	// and, like Int8, requires the arena fast path — the legacy autograd
+	// path always scores in float64.
+	F32 bool
 	// Batch > 0 routes every ML prefetcher's model calls through one shared
 	// batched-inference scheduler that fuses up to Batch concurrent requests
 	// per GEMM round (prefetch.BatchScheduler). The batched kernels are
@@ -146,6 +153,9 @@ func (o Options) SimConfig() sim.Config {
 func (o Options) validateBatch() error {
 	if o.Batch > 0 && o.DisableFastPath {
 		return fmt.Errorf("experiments: Batch=%d requires the fast path (unset DisableFastPath)", o.Batch)
+	}
+	if o.F32 && o.Int8 {
+		return fmt.Errorf("experiments: F32 and Int8 are mutually exclusive (pick one reduced-precision engine)")
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ type Runner struct {
 	data   map[Workload]*cell[*WorkloadData]
 	suites map[Workload]*cell[*Suite]
 	qpairs map[Workload]*cell[*qpair]
+	fpairs map[Workload]*cell[*qpair]
 
 	storeOnce sync.Once
 	store     *resilience.Store
@@ -53,6 +54,7 @@ func NewRunner(opt Options) *Runner {
 		data:   map[Workload]*cell[*WorkloadData]{},
 		suites: map[Workload]*cell[*Suite]{},
 		qpairs: map[Workload]*cell[*qpair]{},
+		fpairs: map[Workload]*cell[*qpair]{},
 	}
 }
 
@@ -480,9 +482,32 @@ func (r *Runner) quantizedPS(w Workload) (*qpair, error) {
 	})
 }
 
+// f32PS returns (converting once, coalescing concurrent callers) the f32
+// mirrors of w's phase-specific delta/page models. Conversion narrows
+// trained float weights, so like quantization it is single-flight per
+// workload and the parallel sweep shares one f32 pair.
+func (r *Runner) f32PS(w Workload) (*qpair, error) {
+	c := getCell(&r.mu, r.fpairs, w)
+	return c.get("experiments.F32PS("+w.String()+")", func() (*qpair, error) {
+		s, err := r.Suite(w)
+		if err != nil {
+			return nil, err
+		}
+		fd, fp, err := models.ConvertSuiteF32(s.PSDelta, s.PSPage)
+		if err != nil {
+			return nil, err
+		}
+		return &qpair{
+			delta: fd.(*models.PhaseSpecificDelta),
+			page:  fp.(*models.PhaseSpecificPage),
+		}, nil
+	})
+}
+
 // MPGraph assembles the full prefetcher for w with the given controller
 // options: per-phase AMMA predictors plus a Soft-KSWIN detector. Under
-// Options.Int8 the per-phase models are the calibrated int8 mirrors.
+// Options.Int8 the per-phase models are the calibrated int8 mirrors; under
+// Options.F32 they are the narrowed single-precision mirrors.
 func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
 	if err := r.Opt.validateBatch(); err != nil {
 		return nil, err
@@ -510,6 +535,13 @@ func (r *Runner) MPGraph(w Workload, opt core.Options) (*core.MPGraph, error) {
 			return nil, err
 		}
 		psDelta, psPage = qp.delta, qp.page
+	}
+	if r.Opt.F32 && !r.Opt.DisableFastPath {
+		fp, err := r.f32PS(w)
+		if err != nil {
+			return nil, err
+		}
+		psDelta, psPage = fp.delta, fp.page
 	}
 	deltas := make([]models.DeltaModel, len(psDelta.Models))
 	copy(deltas, psDelta.Models)

@@ -1,0 +1,51 @@
+package models
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"mpgraph/internal/nn"
+)
+
+// Half-precision suite snapshots (DESIGN.md §13). Layout matches Save —
+// header, vocabs, per-phase delta/page parameter blocks — with each block
+// written by nn.SaveF16, roughly halving the artifact (vocabs and header
+// stay exact; they are a sliver of the payload). LoadPrefetcherModels
+// dispatches on the magic, so one load path serves both precisions and the
+// f16 cut happens exactly once, at save time.
+
+const snapMagicF16 = 0x4d505348 // "MPSH"
+
+// SaveF16 serialises the artifact with binary16 parameters.
+func (pm *PrefetcherModels) SaveF16(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cfg := pm.Cfg
+	hdr := []uint64{
+		snapMagicF16, uint64(len(pm.Deltas)),
+		uint64(cfg.HistoryT), uint64(cfg.LookForwardF), uint64(cfg.AttnDim),
+		uint64(cfg.FusionDim), uint64(cfg.TransLayers), uint64(cfg.Heads),
+		uint64(cfg.NumSegments), uint64(cfg.SegmentBits), uint64(cfg.DeltaRange),
+		uint64(cfg.PageVocab), uint64(cfg.PCVocab), uint64(cfg.LSTMHidden),
+		uint64(cfg.Seed),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, v := range []*Vocab{pm.Pages, pm.PCs} {
+		if err := saveVocab(bw, v); err != nil {
+			return err
+		}
+	}
+	for i := range pm.Deltas {
+		if err := nn.SaveF16(bw, pm.Deltas[i]); err != nil {
+			return err
+		}
+		if err := nn.SaveF16(bw, pm.PageMs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

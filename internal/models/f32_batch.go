@@ -1,0 +1,91 @@
+package models
+
+import (
+	"mpgraph/internal/tensor"
+)
+
+// Batched f32 inference (DESIGN.md §13): the f32 mirrors implement the same
+// DeltaScorerBatchCtx/PageTopperBatchCtx capability interfaces as their
+// float64 sources, stacking B sessions into one [B*T x d] f32 activation
+// block. The f32 kernels compute every output row as a pure function of its
+// own session's rows, so f32 batch scores are bit-identical to sequential
+// f32 scores at any batch size — the same cross-batch-size byte-identity
+// contract the float64 and int8 tiers pin.
+
+// --- batched f32 modality encoders / AMMA core ---
+
+//mpgraph:noalloc
+func (m *f32ModalityEncoder) encodeFeaturesBatchCtx(c *tensor.Ctx, x *tensor.F32Tensor, blocks int) *tensor.F32Tensor {
+	return m.attn.ForwardBatchCtx(c, c.AddPosBatchF32(m.lin.ForwardCtx(c, x), m.pos, blocks), blocks)
+}
+
+//mpgraph:noalloc
+func (m *f32ModalityEncoder) encodeTokensBatchCtx(c *tensor.Ctx, ids []int, blocks int) *tensor.F32Tensor {
+	return m.attn.ForwardBatchCtx(c, c.AddPosBatchF32(m.table.ForwardCtx(c, ids), m.pos, blocks), blocks)
+}
+
+// forwardBatchCtx is f32AMMACore.forwardCtx over a stacked batch.
+//
+//mpgraph:noalloc
+func (fc *f32AMMACore) forwardBatchCtx(c *tensor.Ctx, encA, encB *tensor.F32Tensor, ss []*Sample) *tensor.F32Tensor {
+	blocks := len(ss)
+	fused := fc.fusion.ForwardBatchCtx2(c, encA, encB, blocks) //mpgraph:allow noalloc -- fixed-arity fast path; the cross-package naming rule keys on a Ctx suffix
+	if fc.phaseEmb != nil {
+		ids := phaseIDsBatch(c, ss, fc.phaseEmb.Vocab()) //mpgraph:allow noalloc -- Vocab is a field read
+		fused = c.AddRowPerBlockF32(fused, fc.phaseEmb.Table, ids, blocks)
+	}
+	for _, tl := range fc.trans {
+		fused = tl.ForwardBatchCtx(c, fused, blocks)
+	}
+	return c.MeanRowsBatchF32(fused, blocks)
+}
+
+// --- batched f32 predictors ---
+
+//mpgraph:noalloc
+func (m *F32AMMADelta) flogitsBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.F32Tensor {
+	t := batchT(ss)
+	encA := m.fcore.modA.encodeFeaturesBatchCtx(c, c.NarrowCtxF32(addrFeatureTensorBatchCtx(c, m.cfg, ss, t)), len(ss))
+	encB := m.fcore.modB.encodeTokensBatchCtx(c, pcTokensBatchCtx(c, m.pcs, ss, t), len(ss))
+	return m.fhead.ForwardCtx(c, m.fcore.forwardBatchCtx(c, encA, encB, ss))
+}
+
+// DeltaScoresBatchCtx implements DeltaScorerBatchCtx on the f32 path.
+//
+//mpgraph:noalloc
+func (m *F32AMMADelta) DeltaScoresBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.Tensor {
+	return sigmoidScoresF32(c, m.flogitsBatchCtx(c, ss))
+}
+
+//mpgraph:noalloc
+func (m *F32AMMAPage) flogitsBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.F32Tensor {
+	t := batchT(ss)
+	encA := m.fcore.modA.encodeTokensBatchCtx(c, pageTokensBatchCtx(c, m.pages, ss, t), len(ss))
+	encB := m.fcore.modB.encodeTokensBatchCtx(c, pcTokensBatchCtx(c, m.pcs, ss, t), len(ss))
+	return m.fhead.ForwardCtx(c, m.fcore.forwardBatchCtx(c, encA, encB, ss))
+}
+
+// TopPagesBatchAppendCtx implements PageTopperBatchCtx on the f32 path.
+//
+//mpgraph:noalloc
+func (m *F32AMMAPage) TopPagesBatchAppendCtx(c *tensor.Ctx, ss []*Sample, k int, dst [][]uint64) {
+	scores := c.WidenCtxF32(m.flogitsBatchCtx(c, ss))
+	for i := range ss {
+		row := scores.Data[i*scores.Cols : (i+1)*scores.Cols]
+		dst[i] = topPagesAppendCtx(c, m.pages, row, k, dst[i])
+	}
+}
+
+//mpgraph:noalloc
+func (m *F32LSTMDelta) flogitsBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.F32Tensor {
+	t := batchT(ss)
+	x := c.NarrowCtxF32(concatStepFeaturesBatchCtx(c, m.cfg, ss, t))
+	return m.fhead.ForwardCtx(c, m.flstm.ForwardBatchCtx(c, x, len(ss)))
+}
+
+// DeltaScoresBatchCtx implements DeltaScorerBatchCtx on the f32 path.
+//
+//mpgraph:noalloc
+func (m *F32LSTMDelta) DeltaScoresBatchCtx(c *tensor.Ctx, ss []*Sample) *tensor.Tensor {
+	return sigmoidScoresF32(c, m.flogitsBatchCtx(c, ss))
+}

@@ -111,8 +111,14 @@ func LoadPrefetcherModels(r io.Reader) (*PrefetcherModels, error) {
 			return nil, err
 		}
 	}
-	if hdr[0] != snapMagic {
+	if hdr[0] != snapMagic && hdr[0] != snapMagicF16 {
 		return nil, fmt.Errorf("models: bad snapshot magic %#x", hdr[0])
+	}
+	// Dispatch parameter decoding on the magic: float64 blocks for Save,
+	// binary16 blocks (widened exactly on read) for SaveF16.
+	loadParams := nn.Load
+	if hdr[0] == snapMagicF16 {
+		loadParams = nn.LoadF16
 	}
 	phases := int(hdr[1])
 	if phases < 1 || phases > 64 {
@@ -138,11 +144,11 @@ func LoadPrefetcherModels(r io.Reader) (*PrefetcherModels, error) {
 	}
 	for p := 0; p < phases; p++ {
 		delta := NewAMMADelta(cfg, pm.PCs, 0, cfg.Seed)
-		if err := nn.Load(br, delta); err != nil {
+		if err := loadParams(br, delta); err != nil {
 			return nil, fmt.Errorf("models: phase %d delta: %w", p, err)
 		}
 		page := NewAMMAPage(cfg, pm.Pages, pm.PCs, 0, cfg.Seed)
-		if err := nn.Load(br, page); err != nil {
+		if err := loadParams(br, page); err != nil {
 			return nil, fmt.Errorf("models: phase %d page: %w", p, err)
 		}
 		pm.Deltas = append(pm.Deltas, delta)

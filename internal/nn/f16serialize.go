@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mpgraph/internal/tensor"
+)
+
+// Half-precision parameter snapshots (DESIGN.md §13). The wire layout
+// mirrors Save/Load — magic, param count, per-param shape — but stores each
+// value as one IEEE binary16, halving snapshot size. Encoding rounds to
+// nearest-even once, directly from the float64 bits; decoding widens
+// exactly, so SaveF16→LoadF16 is a pure (deterministic) precision cut and a
+// second round trip is lossless.
+
+const paramMagicF16 = 0x4d504e48 // "MPNH"
+
+// SaveF16 serialises a module's parameters at binary16 precision.
+func SaveF16(w io.Writer, m Module) error {
+	bw := bufio.NewWriter(w)
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint64(paramMagicF16)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(params))); err != nil {
+		return err
+	}
+	var halves []uint16
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, [2]uint64{uint64(p.Rows), uint64(p.Cols)}); err != nil {
+			return err
+		}
+		if cap(halves) < len(p.Data) {
+			halves = make([]uint16, len(p.Data))
+		}
+		halves = halves[:len(p.Data)]
+		tensor.EncodeF16(halves, p.Data)
+		if err := binary.Write(bw, binary.LittleEndian, halves); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadF16 fills a structurally-identical module's parameters from a SaveF16
+// snapshot, widening each binary16 value exactly.
+func LoadF16(r io.Reader, m Module) error {
+	br := bufio.NewReader(r)
+	var magic, count uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != paramMagicF16 {
+		return fmt.Errorf("nn: bad f16 magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: f16 snapshot has %d params, module has %d", count, len(params))
+	}
+	var halves []uint16
+	for i, p := range params {
+		var shape [2]uint64
+		if err := binary.Read(br, binary.LittleEndian, &shape); err != nil {
+			return err
+		}
+		if int(shape[0]) != p.Rows || int(shape[1]) != p.Cols {
+			return fmt.Errorf("nn: param %d shape %dx%d, f16 snapshot %dx%d", i, p.Rows, p.Cols, shape[0], shape[1])
+		}
+		if cap(halves) < len(p.Data) {
+			halves = make([]uint16, len(p.Data))
+		}
+		halves = halves[:len(p.Data)]
+		if err := binary.Read(br, binary.LittleEndian, halves); err != nil {
+			return err
+		}
+		tensor.WidenF16(p.Data, halves)
+	}
+	return nil
+}

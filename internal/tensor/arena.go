@@ -75,12 +75,16 @@ func (s *slab[T]) reset() {
 // until the next Reset, they never carry graph edges, and they must not be
 // stored in model state or passed to Backward.
 type Ctx struct {
-	f64  slab[float64]
-	ints slab[int]
-	i8   slab[int8]
-	u8   slab[uint8]
-	ts   slab[Tensor]
-	ptrs slab[*Tensor]
+	f64     slab[float64]
+	f32     slab[float32]
+	u16     slab[uint16]
+	ints    slab[int]
+	i8      slab[int8]
+	u8      slab[uint8]
+	ts      slab[Tensor]
+	f32ts   slab[F32Tensor]
+	ptrs    slab[*Tensor]
+	f32ptrs slab[*F32Tensor]
 }
 
 // NewCtx returns an empty inference context. Buffers are grown on demand
@@ -98,11 +102,15 @@ func (c *Ctx) Reset() {
 		return
 	}
 	c.f64.reset()
+	c.f32.reset()
+	c.u16.reset()
 	c.ints.reset()
 	c.i8.reset()
 	c.u8.reset()
 	c.ts.reset()
+	c.f32ts.reset()
 	c.ptrs.reset()
+	c.f32ptrs.reset()
 }
 
 // zeros allocates an arena-backed rows x cols tensor (data zeroed).
@@ -168,6 +176,72 @@ func (c *Ctx) Ptrs(n int) []*Tensor {
 		return make([]*Tensor, n)
 	}
 	return c.ptrs.take(n)
+}
+
+// Float32s returns a zeroed arena-backed []float32 of length n (f32 score
+// rows and activation scratch on the mixed-precision tier).
+//
+//mpgraph:noalloc
+func (c *Ctx) Float32s(n int) []float32 {
+	if c == nil {
+		return make([]float32, n)
+	}
+	return c.f32.take(n)
+}
+
+// Halfs returns an uninitialised arena-backed []uint16 of length n (binary16
+// staging buffers — every caller overwrites the full buffer before reading).
+//
+//mpgraph:noalloc
+func (c *Ctx) Halfs(n int) []uint16 {
+	if c == nil {
+		return make([]uint16, n)
+	}
+	return c.u16.takeUninit(n)
+}
+
+// F32Ptrs returns a zeroed arena-backed []*F32Tensor of length n.
+//
+//mpgraph:noalloc
+func (c *Ctx) F32Ptrs(n int) []*F32Tensor {
+	if c == nil {
+		return make([]*F32Tensor, n)
+	}
+	return c.f32ptrs.take(n)
+}
+
+// zerosF32 allocates an arena-backed rows x cols f32 tensor (data zeroed).
+//
+//mpgraph:noalloc
+func (c *Ctx) zerosF32(rows, cols int) *F32Tensor {
+	t := &c.f32ts.take(1)[0]
+	t.Rows = rows
+	t.Cols = cols
+	t.Data = c.f32.take(rows * cols)
+	return t
+}
+
+// uninitF32 is zerosF32 without the zeroing pass — only for ops that
+// overwrite every element before returning.
+//
+//mpgraph:noalloc
+func (c *Ctx) uninitF32(rows, cols int) *F32Tensor {
+	t := &c.f32ts.take(1)[0]
+	t.Rows = rows
+	t.Cols = cols
+	t.Data = c.f32.takeUninit(rows * cols)
+	return t
+}
+
+// viewF32 allocates an arena-backed f32 tensor header over existing data.
+//
+//mpgraph:noalloc
+func (c *Ctx) viewF32(rows, cols int, data []float32) *F32Tensor {
+	t := &c.f32ts.take(1)[0]
+	t.Rows = rows
+	t.Cols = cols
+	t.Data = data
+	return t
 }
 
 // Int8s returns an uninitialised arena-backed []int8 of length n (quantized

@@ -1,0 +1,37 @@
+package tensor
+
+// F32Tensor is the single-precision inference tensor (DESIGN.md §13). It is
+// graph-free by construction: the f32 tier exists only on the inference fast
+// path, float64 Tensors remain the training/autograd reference. Shapes follow
+// Tensor (row-major Rows x Cols).
+type F32Tensor struct {
+	Data       []float32
+	Rows, Cols int
+}
+
+// NewF32Tensor returns a zeroed heap-backed rows x cols F32Tensor (model
+// parameters at conversion time; the hot path uses arena-backed ctx ops).
+func NewF32Tensor(rows, cols int) *F32Tensor {
+	return &F32Tensor{Data: make([]float32, rows*cols), Rows: rows, Cols: cols}
+}
+
+// NarrowF32 converts a float64 tensor to f32 by rounding every element —
+// the weight-narrowing step of the mixed-precision ladder. Heap-allocating;
+// used once per parameter at model conversion, never per inference.
+func NarrowF32(t *Tensor) *F32Tensor {
+	out := &F32Tensor{Data: make([]float32, len(t.Data)), Rows: t.Rows, Cols: t.Cols}
+	for i, v := range t.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// At returns the element at (r, c).
+//
+//mpgraph:noalloc
+func (t *F32Tensor) At(r, c int) float32 { return t.Data[r*t.Cols+c] }
+
+// Row returns row r as a shared sub-slice.
+//
+//mpgraph:noalloc
+func (t *F32Tensor) Row(r int) []float32 { return t.Data[r*t.Cols : (r+1)*t.Cols] }

@@ -1,0 +1,61 @@
+package tensor
+
+// Fast elementwise math for the f32 tier. On AVX-512F machines these route
+// through the vactF32AVX512 vector kernel (relative error ~1e-7 against the
+// math-package-and-narrow scalar reference, inside the tier's parity
+// budget); everywhere else they delegate to the exact scalar f32
+// implementations, so fallback platforms are bit-identical to the scalar
+// tier.
+
+// ApplyActFastF32 applies act elementwise in place, vectorized when
+// available. Exported for the nn f32 layers (LSTM cell tanh).
+//
+//mpgraph:noalloc
+func ApplyActFastF32(row []float32, act Act) {
+	applyActFastF32(row, act)
+}
+
+//mpgraph:noalloc
+func applyActFastF32(row []float32, act Act) {
+	if batchKernelAvailable() {
+		switch act {
+		case ActSigmoid:
+			vsigmoidRowF32(row)
+			return
+		case ActTanh:
+			vtanhRowF32(row)
+			return
+		}
+	}
+	applyActF32(row, act)
+}
+
+// softmaxInPlaceFastF32 mirrors softmaxInPlaceF32 with a vectorized exp. The
+// max-subtraction and 1/sum normalization match the scalar kernel's
+// operation order, so the only divergence is the exp evaluation itself.
+//
+//mpgraph:noalloc
+func softmaxInPlaceFastF32(row []float32) {
+	if !batchKernelAvailable() {
+		softmaxInPlaceF32(row)
+		return
+	}
+	if len(row) == 0 {
+		return
+	}
+	maxV := row[0]
+	for _, v := range row[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	vexpRowF32(row, maxV)
+	var sum float32
+	for _, v := range row {
+		sum += v
+	}
+	inv := 1 / sum
+	for i := range row {
+		row[i] *= inv
+	}
+}

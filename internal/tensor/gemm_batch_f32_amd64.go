@@ -1,0 +1,79 @@
+//go:build amd64
+
+package tensor
+
+// Single-precision twins of the batched-GEMM and vector-activation asm
+// entry points. They share the useAVX512F gate (and its test override) with
+// the f64 tier: both are plain AVX-512F, so one CPUID answer covers both.
+
+// fmaPanel4F32Asm is implemented in gemm_batch_f32_amd64.s: out += a @ b for
+// four consecutive rows of the activation block (out rows stride n, a rows
+// stride k), walking b in 32-column zmm tile pairs.
+//
+//mpgraph:noalloc
+//
+//go:noescape
+func fmaPanel4F32Asm(out, a, b *float32, k, n int64)
+
+// fmaPanel1F32Asm is the single-row remainder kernel; per element it
+// executes the identical FMA sequence of one fmaPanel4F32Asm row, so batch
+// composition never changes any row's bits.
+//
+//mpgraph:noalloc
+//
+//go:noescape
+func fmaPanel1F32Asm(out, a, b *float32, k, n int64)
+
+// vactF32AVX512 is implemented in gemm_batch_f32_amd64.s: elementwise
+// activation in place over n float32s. mode 0 = exp(x-bias), 1 = sigmoid,
+// 2 = tanh.
+//
+//mpgraph:noalloc
+//
+//go:noescape
+func vactF32AVX512(p *float32, n, mode int64, bias float32)
+
+// fmaPanelsF32 accumulates out += a @ b over all m rows through the
+// AVX-512F f32 panel kernels, four rows at a time with a single-row
+// remainder.
+//
+//mpgraph:noalloc
+func fmaPanelsF32(out, a, b []float32, m, k, n int) {
+	r := 0
+	for ; r+4 <= m; r += 4 {
+		fmaPanel4F32Asm(&out[r*n], &a[r*k], &b[0], int64(k), int64(n))
+	}
+	for ; r < m; r++ {
+		fmaPanel1F32Asm(&out[r*n], &a[r*k], &b[0], int64(k), int64(n))
+	}
+}
+
+// vexpRowF32 replaces row[i] with exp(row[i]-bias) through the vector kernel.
+//
+//mpgraph:noalloc
+func vexpRowF32(row []float32, bias float32) {
+	if len(row) == 0 {
+		return
+	}
+	vactF32AVX512(&row[0], int64(len(row)), 0, bias)
+}
+
+// vsigmoidRowF32 applies sigmoid in place through the vector kernel.
+//
+//mpgraph:noalloc
+func vsigmoidRowF32(row []float32) {
+	if len(row) == 0 {
+		return
+	}
+	vactF32AVX512(&row[0], int64(len(row)), 1, 0)
+}
+
+// vtanhRowF32 applies tanh in place through the vector kernel.
+//
+//mpgraph:noalloc
+func vtanhRowF32(row []float32) {
+	if len(row) == 0 {
+		return
+	}
+	vactF32AVX512(&row[0], int64(len(row)), 2, 0)
+}
